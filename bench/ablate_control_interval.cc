@@ -1,0 +1,42 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Ablation: sensitivity to the control node's reporting period.  Dynamic
+// strategies plan against a view that is up to one report interval stale
+// (plus adaptive extrapolation); this bench sweeps the interval for the two
+// best strategies of Fig. 6.
+//
+// Expectation: very long intervals degrade placement quality (stale memory
+// and CPU views), very short intervals remove the benefit of the adaptive
+// feedback; moderate staleness is tolerated well.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace pdblb;
+using bench::ApplyHorizon;
+using bench::RegisterPoint;
+
+void Setup() {
+  bench::FigureTable::Get().SetTitle(
+      "Ablation — control-report interval (n = 80, 0.25 QPS/PE)",
+      "interval ms");
+
+  for (auto strategy : {strategies::PmuCpuLUM(), strategies::OptIOCpu()}) {
+    for (double interval : {200.0, 500.0, 1000.0, 2000.0, 4000.0}) {
+      SystemConfig cfg;
+      cfg.num_pes = 80;
+      cfg.strategy = strategy;
+      cfg.control_report_interval_ms = interval;
+      ApplyHorizon(cfg);
+      RegisterPoint("ablate_interval/" + strategy.Name() + "/" +
+                        std::to_string(static_cast<int>(interval)) + "ms",
+                    cfg, strategy.Name(), interval,
+                    TextTable::Num(interval, 0));
+    }
+  }
+}
+
+}  // namespace
+
+PDBLB_BENCH_MAIN(Setup)

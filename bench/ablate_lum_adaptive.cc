@@ -1,0 +1,45 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Ablation: the "adaptive variation" of LUC/LUM (paper Section 3.2).  When
+// a join is scheduled, the control node artificially bumps the selected
+// PEs' recorded CPU utilization and decrements their recorded free memory,
+// so that back-to-back joins do not herd onto the same processors while
+// reports are stale.  This bench runs the LUM-based strategies with the
+// feedback on and off.
+//
+// Expectation: without the feedback, consecutive joins pile onto the same
+// "most free" nodes between control reports, raising response times — the
+// effect grows with the arrival rate and the report interval.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace pdblb;
+using bench::ApplyHorizon;
+using bench::RegisterPoint;
+
+void Setup() {
+  bench::FigureTable::Get().SetTitle(
+      "Ablation — LUC/LUM adaptive feedback on/off (n = 80, 0.25 QPS/PE)",
+      "feedback");
+
+  for (auto strategy : {strategies::PmuCpuLUM(), strategies::PsuNoIOLUM(),
+                        strategies::OptIOCpu()}) {
+    for (bool feedback : {true, false}) {
+      SystemConfig cfg;
+      cfg.num_pes = 80;
+      cfg.strategy = strategy;
+      cfg.adaptive_selection_feedback = feedback;
+      ApplyHorizon(cfg);
+      std::string series =
+          strategy.Name() + (feedback ? " +feedback" : " -feedback");
+      RegisterPoint("ablate_lum/" + series, cfg, series, feedback ? 1 : 0,
+                    feedback ? "on" : "off");
+    }
+  }
+}
+
+}  // namespace
+
+PDBLB_BENCH_MAIN(Setup)

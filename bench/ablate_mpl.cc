@@ -1,0 +1,56 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Ablation — multiprogramming level (paper Section 4: "The maximal number
+// of concurrent transactions (inter-transaction parallelism) per PE is
+// controlled by a multiprogramming level.  Newly arriving transactions must
+// wait in an input queue when this maximal degree ... is already reached").
+//
+// At high query arrival rates, admission control trades queueing delay in
+// the input queue against resource thrashing inside the system: a very low
+// MPL serializes the coordinators, a very high MPL lets too many joins
+// fight over buffers and CPUs.
+//
+// Expected shape: response times are U-shaped in the MPL; the knee moves
+// left for the memory-hungry configuration.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace pdblb;
+using bench::ApplyHorizon;
+using bench::RegisterPoint;
+
+void Setup() {
+  bench::FigureTable::Get().SetTitle(
+      "Ablation — multiprogramming level (40 PE, OPT-IO-CPU)", "MPL");
+
+  const std::vector<int> mpls = {1, 2, 4, 16, 64};
+  for (int mpl : mpls) {
+    {
+      SystemConfig cfg;
+      cfg.num_pes = 40;
+      cfg.strategy = strategies::OptIOCpu();
+      cfg.multiprogramming_level = mpl;
+      cfg.join_query.arrival_rate_per_pe_qps = 0.25;  // heavy join load
+      ApplyHorizon(cfg);
+      RegisterPoint("mpl/joins/" + std::to_string(mpl), cfg, "join load",
+                    mpl, std::to_string(mpl));
+    }
+    {
+      SystemConfig cfg;
+      cfg.num_pes = 40;
+      cfg.strategy = strategies::OptIOCpu();
+      cfg.multiprogramming_level = mpl;
+      cfg.buffer.buffer_pages = 12;  // memory-hungry variant
+      cfg.join_query.arrival_rate_per_pe_qps = 0.15;
+      ApplyHorizon(cfg);
+      RegisterPoint("mpl/mem-tight/" + std::to_string(mpl), cfg,
+                    "memory-tight", mpl, std::to_string(mpl));
+    }
+  }
+}
+
+}  // namespace
+
+PDBLB_BENCH_MAIN(Setup)

@@ -1,0 +1,59 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Ablation: PPHJ memory adaptivity.  The Partially Preemptible Hash Join
+// keeps as much of the inner relation resident as possible, growing its
+// working space opportunistically when frames free up; a GRACE-style join
+// would stick with its initial allocation.  This bench disables the
+// opportunistic growth under (a) the memory-bound homogeneous load and
+// (b) the mixed OLTP workload where OLTP steals join frames.
+//
+// Expectation: without growth, joins that started during a memory squeeze
+// never recover their working space, so overflow I/O and response times
+// rise.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace pdblb;
+using bench::ApplyHorizon;
+using bench::RegisterPoint;
+
+void Setup() {
+  bench::FigureTable::Get().SetTitle(
+      "Ablation — PPHJ opportunistic growth on/off", "scenario");
+
+  for (bool growth : {true, false}) {
+    std::string suffix = growth ? " +growth" : " -growth";
+
+    // (a) memory-bound homogeneous joins (fig-7 environment, 80 PE).
+    SystemConfig mem;
+    mem.num_pes = 80;
+    mem.buffer.buffer_pages = 5;
+    mem.disk.disks_per_pe = 1;
+    mem.join_query.arrival_rate_per_pe_qps = 0.05;
+    mem.strategy = strategies::MinIOSuOpt();
+    mem.pphj_opportunistic_growth = growth;
+    ApplyHorizon(mem);
+    RegisterPoint("ablate_pphj/memory-bound" + suffix, mem,
+                  "memory-bound MIN-IO-SUOPT" + suffix, growth ? 1 : 0,
+                  "mem-bound");
+
+    // (b) mixed workload: OLTP steals frames from running joins.
+    SystemConfig mixed;
+    mixed.num_pes = 40;
+    mixed.join_query.arrival_rate_per_pe_qps = 0.075;
+    mixed.oltp.enabled = true;
+    mixed.oltp.placement = OltpPlacement::kBNodes;
+    mixed.disk.disks_per_pe = 5;
+    mixed.strategy = strategies::OptIOCpu();
+    mixed.pphj_opportunistic_growth = growth;
+    ApplyHorizon(mixed);
+    RegisterPoint("ablate_pphj/mixed" + suffix, mixed,
+                  "mixed OPT-IO-CPU" + suffix, growth ? 1 : 0, "mixed");
+  }
+}
+
+}  // namespace
+
+PDBLB_BENCH_MAIN(Setup)

@@ -1,0 +1,54 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Baseline comparison against RateMatch (Mehta & DeWitt [20]), the closest
+// related work the paper discusses in Section 6.  RateMatch picks the degree
+// of join parallelism so that the aggregate consumption rate of the join
+// processors matches the production rate of the scans; per-processor rates
+// are derated by *average* CPU/disk utilization, so the degree rises with
+// system load, and memory availability is ignored.
+//
+// Shape to match (paper's critique): at light load RateMatch is competitive;
+// as CPU utilization passes ~50% its rising degree feeds the CPU contention
+// it tries to compensate, and the utilization-reducing strategies
+// (p_mu-cpu + LUM, OPT-IO-CPU) win clearly.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace pdblb;
+using bench::ApplyHorizon;
+using bench::RegisterPoint;
+
+void Setup() {
+  bench::FigureTable::Get().SetTitle(
+      "Baseline — RateMatch [20] vs. the paper's strategies "
+      "(1% sel., load sweep at 60 PE)",
+      "QPS/PE");
+
+  const std::vector<double> rates = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+  const std::vector<StrategyConfig> strategy_set = {
+      strategies::RateMatchLUC(),  // their best selection rule (our LUC)
+      strategies::RateMatchRandom(),
+      strategies::PmuCpuLUM(),
+      strategies::OptIOCpu(),
+  };
+
+  for (double qps : rates) {
+    for (const StrategyConfig& strategy : strategy_set) {
+      SystemConfig cfg;
+      cfg.num_pes = 60;
+      cfg.strategy = strategy;
+      cfg.join_query.arrival_rate_per_pe_qps = qps;
+      ApplyHorizon(cfg);
+      char label[32];
+      std::snprintf(label, sizeof(label), "%.2f", qps);
+      RegisterPoint("ratematch/" + strategy.Name() + "/" + label, cfg,
+                    strategy.Name(), qps, label);
+    }
+  }
+}
+
+}  // namespace
+
+PDBLB_BENCH_MAIN(Setup)

@@ -1,0 +1,181 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Shared infrastructure for the per-figure benchmark binaries.  Every bench
+// registers one google-benchmark entry per (series, x) point; each entry
+// runs a full cluster simulation once and exports the measurements as
+// benchmark counters.  After all benchmarks ran, a paper-style table with
+// one row per point is printed so the figure's series can be compared at a
+// glance.
+//
+// Environment:
+//   PDBLB_BENCH_FAST=1        shrink warm-up/measurement (quick smoke runs)
+//   PDBLB_BENCH_CSV=<path>    additionally dump the figure rows as CSV
+
+#ifndef PDBLB_BENCH_BENCH_COMMON_H_
+#define PDBLB_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "engine/cluster.h"
+
+namespace pdblb::bench {
+
+inline bool FastMode() {
+  const char* env = std::getenv("PDBLB_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Applies the bench-wide measurement horizon (shortened in fast mode).
+inline void ApplyHorizon(SystemConfig& cfg) {
+  if (FastMode()) {
+    cfg.warmup_ms = 1500.0;
+    cfg.measurement_ms = 5000.0;
+  } else {
+    cfg.warmup_ms = 4000.0;
+    cfg.measurement_ms = 20000.0;
+  }
+}
+
+/// One collected figure point.
+struct FigureRow {
+  std::string series;
+  double x = 0.0;
+  std::string x_label;
+  MetricsReport report;
+};
+
+/// Global collector; prints the figure table at the end of main().
+class FigureTable {
+ public:
+  static FigureTable& Get() {
+    static FigureTable table;
+    return table;
+  }
+
+  void SetTitle(std::string title, std::string x_name) {
+    title_ = std::move(title);
+    x_name_ = std::move(x_name);
+  }
+
+  void Add(FigureRow row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    if (rows_.empty()) return;
+    std::printf("\n=== %s ===\n", title_.c_str());
+    TextTable t({x_name_, "strategy", "join RT [ms]", "deg", "CPU util",
+                 "disk util", "mem util", "temp pg/join", "join QPS",
+                 "OLTP RT [ms]", "OLTP TPS"});
+    for (const auto& row : rows_) {
+      const MetricsReport& r = row.report;
+      t.AddRow({row.x_label, row.series, TextTable::Num(r.join_rt_ms, 1),
+                TextTable::Num(r.avg_degree, 1),
+                TextTable::Num(r.cpu_utilization, 2),
+                TextTable::Num(r.disk_utilization, 2),
+                TextTable::Num(r.memory_utilization, 2),
+                TextTable::Num(r.temp_pages_written_per_join, 1),
+                TextTable::Num(r.join_throughput_qps, 2),
+                r.oltp_completed > 0 ? TextTable::Num(r.oltp_rt_ms, 1) : "-",
+                r.oltp_completed > 0
+                    ? TextTable::Num(r.oltp_throughput_tps, 0)
+                    : "-"});
+    }
+    std::fputs(t.ToString().c_str(), stdout);
+    if (const char* csv = std::getenv("PDBLB_BENCH_CSV"); csv != nullptr) {
+      WriteCsv(csv);
+    }
+  }
+
+  /// Dumps the rows as CSV (for external plotting tools).
+  void WriteCsv(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write CSV to %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f,
+                 "x,series,join_rt_ms,avg_degree,cpu_util,disk_util,"
+                 "mem_util,temp_pages_per_join,join_qps,oltp_rt_ms,"
+                 "oltp_tps,scan_rt_ms,update_rt_ms,multiway_rt_ms,"
+                 "lock_waits\n");
+    for (const auto& row : rows_) {
+      const MetricsReport& r = row.report;
+      std::fprintf(f,
+                   "%s,\"%s\",%.3f,%.3f,%.4f,%.4f,%.4f,%.2f,%.3f,%.3f,%.3f,"
+                   "%.3f,%.3f,%.3f,%lld\n",
+                   row.x_label.c_str(), row.series.c_str(), r.join_rt_ms,
+                   r.avg_degree, r.cpu_utilization, r.disk_utilization,
+                   r.memory_utilization, r.temp_pages_written_per_join,
+                   r.join_throughput_qps, r.oltp_rt_ms, r.oltp_throughput_tps,
+                   r.scan_rt_ms, r.update_rt_ms, r.multiway_rt_ms,
+                   static_cast<long long>(r.lock_waits));
+    }
+    std::fclose(f);
+  }
+
+ private:
+  std::string title_ = "figure";
+  std::string x_name_ = "x";
+  std::vector<FigureRow> rows_;
+};
+
+/// Runs one simulation point and exports counters + a figure row.
+inline void RunPoint(benchmark::State& state, SystemConfig cfg,
+                     const std::string& series, double x,
+                     const std::string& x_label) {
+  MetricsReport report;
+  for (auto _ : state) {
+    Cluster cluster(cfg);
+    report = cluster.Run();
+  }
+  state.counters["join_rt_ms"] = report.join_rt_ms;
+  state.counters["avg_degree"] = report.avg_degree;
+  state.counters["cpu_util"] = report.cpu_utilization;
+  state.counters["disk_util"] = report.disk_utilization;
+  state.counters["mem_util"] = report.memory_utilization;
+  state.counters["temp_pages_per_join"] = report.temp_pages_written_per_join;
+  state.counters["join_qps"] = report.join_throughput_qps;
+  if (report.oltp_completed > 0) {
+    state.counters["oltp_rt_ms"] = report.oltp_rt_ms;
+    state.counters["oltp_tps"] = report.oltp_throughput_tps;
+  }
+  FigureTable::Get().Add(FigureRow{series, x, x_label, report});
+}
+
+/// Registers one point as a google-benchmark entry.
+inline void RegisterPoint(const std::string& name, SystemConfig cfg,
+                          const std::string& series, double x,
+                          const std::string& x_label) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [cfg, series, x, x_label](benchmark::State& state) {
+        RunPoint(state, cfg, series, x, x_label);
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+/// Standard main: run all registered benchmarks, then print the table.
+inline int BenchMain(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  FigureTable::Get().Print();
+  return 0;
+}
+
+}  // namespace pdblb::bench
+
+#define PDBLB_BENCH_MAIN(setup_fn)                       \
+  int main(int argc, char** argv) {                      \
+    setup_fn();                                          \
+    return ::pdblb::bench::BenchMain(argc, argv);        \
+  }
+
+#endif  // PDBLB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,85 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Reproduces paper Fig. 1: "Parallel join processing in single- and
+// multi-user mode — basic response time development and optimal number of
+// join processors".  Three series over a forced degree of join parallelism:
+//
+//   (a) single-user mode        — U-shaped R(p), minimum at p_su-opt
+//   (b) CPU-bottleneck          — multi-user, 0.25 QPS/PE: the optimum
+//                                 moves BELOW p_su-opt
+//   (c) memory/disk-bottleneck  — tiny buffers + one disk per PE: the
+//                                 optimum moves ABOVE p_su-opt
+//
+// The analytic cost model's R(p) is printed alongside as a sanity series.
+
+#include "bench/bench_common.h"
+#include "core/cost_model.h"
+
+namespace {
+
+using namespace pdblb;
+using bench::ApplyHorizon;
+using bench::RegisterPoint;
+
+void Setup() {
+  bench::FigureTable::Get().SetTitle(
+      "Fig. 1 — response time vs degree of join parallelism (n = 80)",
+      "degree p");
+
+  const std::vector<int> degrees = {1, 2, 3, 5, 8, 12, 16, 20,
+                                    30, 40, 50, 60, 80};
+
+  for (int p : degrees) {
+    StrategyConfig forced;  // isolated policy with forced degree, LUM
+    forced.fixed_degree = p;
+    forced.selection = SelectionPolicyKind::kLUM;
+
+    // (a) single-user mode.
+    SystemConfig su;
+    su.num_pes = 80;
+    su.single_user_mode = true;
+    su.single_user_queries = bench::FastMode() ? 8 : 20;
+    su.strategy = forced;
+    RegisterPoint("fig1a/single-user/p=" + std::to_string(p), su,
+                  "(a) single-user", p, std::to_string(p));
+
+    // (b) CPU bottleneck: the paper's homogeneous multi-user load.
+    SystemConfig cpu_bound;
+    cpu_bound.num_pes = 80;
+    cpu_bound.strategy = forced;
+    ApplyHorizon(cpu_bound);
+    RegisterPoint("fig1b/cpu-bound/p=" + std::to_string(p), cpu_bound,
+                  "(b) multi-user CPU-bound", p, std::to_string(p));
+
+    // (c) memory/disk bottleneck: buffers/10, one disk per PE, low rate.
+    SystemConfig mem_bound;
+    mem_bound.num_pes = 80;
+    mem_bound.buffer.buffer_pages = 5;
+    mem_bound.disk.disks_per_pe = 1;
+    mem_bound.join_query.arrival_rate_per_pe_qps = 0.05;
+    mem_bound.strategy = forced;
+    ApplyHorizon(mem_bound);
+    RegisterPoint("fig1c/memory-bound/p=" + std::to_string(p), mem_bound,
+                  "(c) multi-user memory-bound", p, std::to_string(p));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Setup();
+  int rc = ::pdblb::bench::BenchMain(argc, argv);
+
+  // Analytic single-user R(p) from the cost model, for comparison with (a).
+  SystemConfig cfg;
+  cfg.num_pes = 80;
+  CostModel cm(cfg);
+  std::printf("\nAnalytic single-user R(p) [ms] (cost model, p_su-opt = %d):\n",
+              cm.PsuOpt());
+  TextTable t({"p", "R(p) [ms]"});
+  for (int p : {1, 2, 3, 5, 8, 12, 16, 20, 30, 40, 50, 60, 80}) {
+    t.AddRow({std::to_string(p), TextTable::Num(cm.ResponseTimeMs(p), 1)});
+  }
+  std::fputs(t.ToString().c_str(), stdout);
+  return rc;
+}

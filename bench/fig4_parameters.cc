@@ -1,0 +1,135 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Reproduces paper Fig. 4: "System configuration, database and query
+// profile" — dumps every default parameter of the simulation so runs are
+// self-documenting, and verifies the derived quantities the paper states
+// (relation sizes in MB, p_su-noIO, p_su-opt).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/cost_model.h"
+#include "engine/cluster.h"
+
+namespace {
+
+using namespace pdblb;
+
+void PrintParameters() {
+  SystemConfig cfg;
+  std::printf("=== Fig. 4 — system configuration, database and query "
+              "profile (defaults) ===\n\n");
+
+  TextTable conf({"configuration setting", "value"});
+  conf.AddRow({"number of PE (#PE, n)", "10, 20, 40, 60, 80 (default 40)"});
+  conf.AddRow({"CPU speed per PE", TextTable::Num(cfg.mips_per_pe, 0) +
+                                       " MIPS"});
+  conf.AddRow({"avg. instructions: initiate a query/transaction",
+               std::to_string(cfg.costs.initiate_txn)});
+  conf.AddRow({"avg. instructions: terminate a query/transaction",
+               std::to_string(cfg.costs.terminate_txn)});
+  conf.AddRow({"avg. instructions: I/O", std::to_string(cfg.costs.io_overhead)});
+  conf.AddRow({"avg. instructions: send message",
+               std::to_string(cfg.costs.send_message)});
+  conf.AddRow({"avg. instructions: receive message",
+               std::to_string(cfg.costs.receive_message)});
+  conf.AddRow({"avg. instructions: copy 8 KB message",
+               std::to_string(cfg.costs.copy_message)});
+  conf.AddRow({"avg. instructions: read a tuple from memory page",
+               std::to_string(cfg.costs.read_tuple)});
+  conf.AddRow({"avg. instructions: hash a tuple",
+               std::to_string(cfg.costs.hash_tuple)});
+  conf.AddRow({"avg. instructions: insert a tuple into hash table",
+               std::to_string(cfg.costs.insert_hash_table)});
+  conf.AddRow({"avg. instructions: write a tuple into output buffer",
+               std::to_string(cfg.costs.write_output_tuple)});
+  conf.AddRow({"avg. instructions: probe hash table",
+               std::to_string(cfg.costs.probe_hash_table)});
+  conf.AddRow({"buffer manager: page size",
+               std::to_string(cfg.buffer.page_size_bytes) + " B"});
+  conf.AddRow({"buffer manager: buffer size",
+               std::to_string(cfg.buffer.buffer_pages) + " pages (0.4 MB)"});
+  conf.AddRow({"disk devices: number of disk servers per PE",
+               std::to_string(cfg.disk.disks_per_pe) + " (varied)"});
+  conf.AddRow({"disk devices: controller service time",
+               TextTable::Num(cfg.disk.controller_time_per_page_ms, 1) +
+                   " ms (per page)"});
+  conf.AddRow({"disk devices: transmission time per page",
+               TextTable::Num(cfg.disk.transmission_time_per_page_ms, 1) +
+                   " ms"});
+  conf.AddRow({"disk devices: avg. disk access time",
+               TextTable::Num(cfg.disk.avg_access_time_ms, 0) + " ms"});
+  conf.AddRow({"disk devices: prefetching delay per page",
+               TextTable::Num(cfg.disk.prefetch_delay_per_page_ms, 0) +
+                   " ms"});
+  conf.AddRow({"disk devices: disk cache",
+               std::to_string(cfg.disk.disk_cache_pages) + " pages"});
+  conf.AddRow({"disk devices: prefetching size",
+               std::to_string(cfg.disk.prefetch_pages) + " pages"});
+  std::fputs(conf.ToString().c_str(), stdout);
+
+  TextTable db({"database / query setting", "value"});
+  db.AddRow({"relation A: #tuples", std::to_string(cfg.relation_a.num_tuples) +
+                                        " (100 MB)"});
+  db.AddRow({"relation A: tuple size",
+             std::to_string(cfg.relation_a.tuple_size_bytes) + " B"});
+  db.AddRow({"relation A: blocking factor",
+             std::to_string(cfg.relation_a.blocking_factor)});
+  db.AddRow({"relation A: index type", "clustered B+-tree"});
+  db.AddRow({"relation A: allocation to PE", "partial declustering (20% of #PE)"});
+  db.AddRow({"relation B: #tuples", std::to_string(cfg.relation_b.num_tuples) +
+                                        " (400 MB)"});
+  db.AddRow({"relation B: tuple size",
+             std::to_string(cfg.relation_b.tuple_size_bytes) + " B"});
+  db.AddRow({"relation B: blocking factor",
+             std::to_string(cfg.relation_b.blocking_factor)});
+  db.AddRow({"relation B: index type", "clustered B+-tree"});
+  db.AddRow({"relation B: allocation to PE", "partial declustering (80% of #PE)"});
+  db.AddRow({"join queries: access method", "via clustered index"});
+  db.AddRow({"join queries: scan selectivity",
+             TextTable::Num(cfg.join_query.scan_selectivity * 100, 1) +
+                 " % (varied)"});
+  db.AddRow({"join queries: no. of result tuples",
+             "100 % of the inner relation"});
+  db.AddRow({"join queries: fudge factor hash table",
+             TextTable::Num(cfg.join_query.fudge_factor, 2)});
+  db.AddRow({"join queries: arrival rate",
+             TextTable::Num(cfg.join_query.arrival_rate_per_pe_qps, 2) +
+                 " QPS/PE (varied)"});
+  db.AddRow({"join queries: query placement", "random (uniform over all PE)"});
+  std::fputs(db.ToString().c_str(), stdout);
+
+  // Derived values the paper states in the text.
+  std::printf("\nDerived (1%% selectivity, n = 80):\n");
+  SystemConfig derived;
+  derived.num_pes = 80;
+  CostModel cm(derived);
+  TextTable d({"quantity", "paper", "this implementation"});
+  d.AddRow({"relation A pages", "12500 (100 MB)",
+            std::to_string(SystemConfig::RelationPages(derived.relation_a))});
+  d.AddRow({"relation B pages", "50000 (400 MB)",
+            std::to_string(SystemConfig::RelationPages(derived.relation_b))});
+  d.AddRow({"p_su-noIO", "3", std::to_string(cm.PsuNoIO())});
+  d.AddRow({"p_su-opt", "30", std::to_string(cm.PsuOpt())});
+  std::fputs(d.ToString().c_str(), stdout);
+}
+
+void BM_ConfigValidation(benchmark::State& state) {
+  for (auto _ : state) {
+    SystemConfig cfg;
+    benchmark::DoNotOptimize(cfg.Validate().ok());
+  }
+}
+BENCHMARK(BM_ConfigValidation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintParameters();
+  return 0;
+}

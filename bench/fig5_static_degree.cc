@@ -1,0 +1,56 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Reproduces paper Fig. 5: "Static degree of parallelism" — multi-user join
+// response times for the static degrees p_su-noIO = 3 and p_su-opt = 30
+// combined with RANDOM / LUC / LUM join-processor selection, plus the
+// single-user baseline, over system sizes 10..80 PE.
+// Workload: homogeneous joins, 0.25 QPS/PE, 1% scan selectivity.
+//
+// Shape to match (paper): p_su-opt curves are best up to ~40 PE, then
+// degrade steeply (CPU contention from 30-way parallelism); the best static
+// scheme beyond 60 PE is p_su-noIO + LUM; RANDOM selection is always worst
+// within a degree; single-user mode is the flat lower bound.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace pdblb;
+using bench::ApplyHorizon;
+using bench::RegisterPoint;
+
+void Setup() {
+  bench::FigureTable::Get().SetTitle(
+      "Fig. 5 — static degree of parallelism (0.25 QPS/PE, 1% selectivity)",
+      "#PE");
+
+  const std::vector<int> sizes = {10, 20, 40, 60, 80};
+  const std::vector<StrategyConfig> strategy_set = {
+      strategies::PsuNoIORandom(), strategies::PsuNoIOLUC(),
+      strategies::PsuNoIOLUM(),    strategies::PsuOptRandom(),
+      strategies::PsuOptLUC(),     strategies::PsuOptLUM(),
+  };
+
+  for (int n : sizes) {
+    for (const StrategyConfig& strategy : strategy_set) {
+      SystemConfig cfg;
+      cfg.num_pes = n;
+      cfg.strategy = strategy;
+      ApplyHorizon(cfg);
+      RegisterPoint("fig5/" + strategy.Name() + "/" + std::to_string(n), cfg,
+                    strategy.Name(), n, std::to_string(n));
+    }
+    // Single-user baseline with p_su-opt join processors.
+    SystemConfig su;
+    su.num_pes = n;
+    su.single_user_mode = true;
+    su.single_user_queries = bench::FastMode() ? 10 : 30;
+    su.strategy = strategies::PsuOptLUM();
+    RegisterPoint("fig5/single-user(p_su-opt)/" + std::to_string(n), su,
+                  "single-user (p_su-opt)", n, std::to_string(n));
+  }
+}
+
+}  // namespace
+
+PDBLB_BENCH_MAIN(Setup)

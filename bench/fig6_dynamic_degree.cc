@@ -1,0 +1,54 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Reproduces paper Fig. 6: "Dynamic degree of join parallelism" — the two
+// isolated dynamic strategies (p_mu-cpu + RANDOM / LUM) against the three
+// integrated strategies (MIN-IO, MIN-IO-SUOPT, OPT-IO-CPU) plus the
+// single-user baseline.  Workload as in Fig. 5.
+//
+// Shape to match (paper): MIN-IO and MIN-IO-SUOPT are worst at large system
+// sizes (they ignore CPU utilization and drive the degree up to avoid temp
+// I/O); p_mu-cpu + LUM and OPT-IO-CPU are best and nearly identical, keeping
+// CPU utilization moderate; p_mu-cpu + RANDOM sits in between.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace pdblb;
+using bench::ApplyHorizon;
+using bench::RegisterPoint;
+
+void Setup() {
+  bench::FigureTable::Get().SetTitle(
+      "Fig. 6 — dynamic degree of join parallelism (0.25 QPS/PE, 1% sel.)",
+      "#PE");
+
+  const std::vector<int> sizes = {10, 20, 40, 60, 80};
+  const std::vector<StrategyConfig> strategy_set = {
+      strategies::MinIO(),        strategies::MinIOSuOpt(),
+      strategies::PmuCpuRandom(), strategies::PmuCpuLUM(),
+      strategies::OptIOCpu(),
+  };
+
+  for (int n : sizes) {
+    for (const StrategyConfig& strategy : strategy_set) {
+      SystemConfig cfg;
+      cfg.num_pes = n;
+      cfg.strategy = strategy;
+      ApplyHorizon(cfg);
+      RegisterPoint("fig6/" + strategy.Name() + "/" + std::to_string(n), cfg,
+                    strategy.Name(), n, std::to_string(n));
+    }
+    SystemConfig su;
+    su.num_pes = n;
+    su.single_user_mode = true;
+    su.single_user_queries = bench::FastMode() ? 10 : 30;
+    su.strategy = strategies::PsuOptLUM();
+    RegisterPoint("fig6/single-user(p_su-opt)/" + std::to_string(n), su,
+                  "single-user (p_su-opt)", n, std::to_string(n));
+  }
+}
+
+}  // namespace
+
+PDBLB_BENCH_MAIN(Setup)

@@ -1,0 +1,60 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Reproduces paper Fig. 9: "Static vs. dynamic load balancing for mixed
+// workloads" — join queries (0.075 QPS/PE) concurrent with a debit-credit
+// OLTP load of 100 TPS per OLTP node; 5 disks per PE.
+//   Fig. 9a: OLTP on the A nodes (20% of the PEs)
+//   Fig. 9b: OLTP on the B nodes (80% of the PEs, 4x the OLTP throughput)
+//
+// Shape to match (paper): dynamic load balancing is even more important
+// than for homogeneous loads; static RANDOM schemes are particularly bad
+// because they put join work on the OLTP nodes; OPT-IO-CPU avoids the OLTP
+// nodes via the memory availability view and performs best, while
+// p_mu-cpu + LUM suffers at small sizes (its CPU-only degree rule still
+// schedules joins on all PEs).
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace pdblb;
+using bench::ApplyHorizon;
+using bench::RegisterPoint;
+
+void Setup() {
+  bench::FigureTable::Get().SetTitle(
+      "Fig. 9 — mixed join/OLTP workloads (0.075 QPS/PE joins, 100 TPS per "
+      "OLTP node, 5 disks/PE)",
+      "#PE");
+
+  const std::vector<int> sizes = {10, 20, 40, 60, 80};
+  const std::vector<StrategyConfig> strategy_set = {
+      strategies::PsuOptRandom(), strategies::PsuNoIORandom(),
+      strategies::PsuNoIOLUM(),   strategies::PmuCpuLUM(),
+      strategies::OptIOCpu(),
+  };
+
+  for (auto placement : {OltpPlacement::kANodes, OltpPlacement::kBNodes}) {
+    std::string tag =
+        placement == OltpPlacement::kANodes ? "9a/OLTP-on-A" : "9b/OLTP-on-B";
+    for (int n : sizes) {
+      for (const StrategyConfig& strategy : strategy_set) {
+        SystemConfig cfg;
+        cfg.num_pes = n;
+        cfg.join_query.arrival_rate_per_pe_qps = 0.075;
+        cfg.oltp.enabled = true;
+        cfg.oltp.placement = placement;
+        cfg.disk.disks_per_pe = 5;
+        cfg.strategy = strategy;
+        ApplyHorizon(cfg);
+        RegisterPoint(
+            "fig" + tag + "/" + strategy.Name() + "/" + std::to_string(n),
+            cfg, tag + " " + strategy.Name(), n, std::to_string(n));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PDBLB_BENCH_MAIN(Setup)

@@ -1,0 +1,60 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Extension — Shared Disk vs. Shared Nothing (paper Section 7 / [27]): the
+// paper's conclusions argue the proposed strategies carry over to Shared
+// Disk systems, which offer *more* load-balancing freedom because even scan
+// operators are freely placeable (every PE reaches every spindle).
+//
+// Workload: the Fig. 9a mixed scenario (OLTP pinned on the 20% A nodes,
+// joins everywhere).  Under Shared Nothing the A scans are forced onto the
+// OLTP-loaded nodes; under Shared Disk the dynamic strategies move them to
+// idle PEs.
+//
+// Expected shape: SD matches SN for the homogeneous workload (nothing to
+// move) and wins increasingly for the mixed workload at higher OLTP rates.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace pdblb;
+using bench::ApplyHorizon;
+using bench::RegisterPoint;
+
+std::string ArchName(Architecture a) {
+  return a == Architecture::kSharedNothing ? "SN" : "SD";
+}
+
+void Setup() {
+  bench::FigureTable::Get().SetTitle(
+      "Extension — Shared Disk vs. Shared Nothing "
+      "(20 PE, joins 0.075 QPS/PE, OLTP on A nodes, 5 disks/PE)",
+      "OLTP TPS/node");
+
+  const std::vector<double> oltp_rates = {0.0, 50.0, 100.0, 150.0};
+  for (double tps : oltp_rates) {
+    for (auto arch :
+         {Architecture::kSharedNothing, Architecture::kSharedDisk}) {
+      SystemConfig cfg;
+      cfg.num_pes = 20;
+      cfg.architecture = arch;
+      cfg.strategy = strategies::OptIOCpu();
+      cfg.join_query.arrival_rate_per_pe_qps = 0.075;
+      cfg.disk.disks_per_pe = 5;
+      if (tps > 0.0) {
+        cfg.oltp.enabled = true;
+        cfg.oltp.placement = OltpPlacement::kANodes;
+        cfg.oltp.tps_per_node = tps;
+      }
+      ApplyHorizon(cfg);
+      RegisterPoint(
+          "shared_disk/" + ArchName(arch) + "/" + std::to_string((int)tps),
+          cfg, ArchName(arch) + " OPT-IO-CPU", tps,
+          std::to_string(static_cast<int>(tps)));
+    }
+  }
+}
+
+}  // namespace
+
+PDBLB_BENCH_MAIN(Setup)

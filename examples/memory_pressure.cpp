@@ -1,0 +1,57 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Memory pressure walk-through: shrinks the per-PE buffer step by step and
+// shows how the integrated MIN-IO-SUOPT strategy reacts by raising the
+// degree of join parallelism (spreading the hash table over more nodes)
+// while the CPU-only p_mu-cpu + LUM stays at p_su-opt and pays with
+// overflow I/O — the paper's Fig. 7 effect as an interactive narrative.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/cost_model.h"
+#include "engine/cluster.h"
+
+int main() {
+  using namespace pdblb;
+
+  std::printf("Shrinking the database buffer on an 80-node system\n"
+              "(joins at 0.05 QPS/PE, 1 disk per PE for temp files):\n\n");
+
+  TextTable t({"buffer pages/PE", "strategy", "join RT [ms]", "avg degree",
+               "temp pg/join", "mem util"});
+
+  for (int buffer_pages : {50, 20, 10, 5}) {
+    for (StrategyConfig strategy :
+         {strategies::PmuCpuLUM(), strategies::MinIOSuOpt()}) {
+      SystemConfig cfg;
+      cfg.num_pes = 80;
+      cfg.buffer.buffer_pages = buffer_pages;
+      cfg.disk.disks_per_pe = 1;
+      cfg.join_query.arrival_rate_per_pe_qps = 0.05;
+      cfg.strategy = strategy;
+      cfg.warmup_ms = 3000;
+      cfg.measurement_ms = 12000;
+
+      std::printf("running buffer=%2d pages, %-14s ...\n", buffer_pages,
+                  strategy.Name().c_str());
+      Cluster cluster(cfg);
+      MetricsReport r = cluster.Run();
+      t.AddRow({std::to_string(buffer_pages), strategy.Name(),
+                TextTable::Num(r.join_rt_ms, 1),
+                TextTable::Num(r.avg_degree, 1),
+                TextTable::Num(r.temp_pages_written_per_join, 1),
+                TextTable::Num(r.memory_utilization, 2)});
+    }
+  }
+
+  std::printf("\n");
+  std::fputs(t.ToString().c_str(), stdout);
+  std::printf(
+      "\nAs memory shrinks, p_mu-cpu + LUM keeps its CPU-derived degree "
+      "(~p_su-opt = 30)\nand the per-processor hash-table share stops "
+      "fitting, so temp-file I/O grows.\nMIN-IO-SUOPT reads the AVAIL-MEMORY "
+      "array and raises the degree instead,\nspreading the hash table thin "
+      "enough to avoid (or minimize) overflow I/O.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Strategy explorer: runs every load-balancing strategy of the paper on a
+// configurable scenario and prints a comparison table.
+//
+// Usage:
+//   strategy_explorer [num_pes] [selectivity_%] [arrival_qps_per_pe]
+// e.g.
+//   ./build/examples/strategy_explorer 80 1 0.25
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "core/cost_model.h"
+#include "engine/cluster.h"
+
+int main(int argc, char** argv) {
+  using namespace pdblb;
+
+  int num_pes = argc > 1 ? std::atoi(argv[1]) : 40;
+  double selectivity_pct = argc > 2 ? std::atof(argv[2]) : 1.0;
+  double rate = argc > 3 ? std::atof(argv[3]) : 0.25;
+
+  SystemConfig base;
+  base.num_pes = num_pes;
+  base.join_query.scan_selectivity = selectivity_pct / 100.0;
+  base.join_query.arrival_rate_per_pe_qps = rate;
+  base.warmup_ms = 3000;
+  base.measurement_ms = 15000;
+  if (Status st = base.Validate(); !st.ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  CostModel model(base);
+  std::printf("Scenario: %d PEs, %.2f%% selectivity, %.3f QPS/PE "
+              "(p_su-opt=%d, p_su-noIO=%d, hash table=%ld pages)\n\n",
+              num_pes, selectivity_pct, rate, model.PsuOpt(), model.PsuNoIO(),
+              static_cast<long>(model.HashTablePages()));
+
+  const StrategyConfig all[] = {
+      strategies::PsuOptRandom(),  strategies::PsuOptLUC(),
+      strategies::PsuOptLUM(),     strategies::PsuNoIORandom(),
+      strategies::PsuNoIOLUC(),    strategies::PsuNoIOLUM(),
+      strategies::PmuCpuRandom(),  strategies::PmuCpuLUM(),
+      strategies::RateMatchLUC(),  // the Section 6 baseline [20]
+      strategies::MinIO(),         strategies::MinIOSuOpt(),
+      strategies::OptIOCpu(),
+  };
+
+  TextTable t({"strategy", "type", "join RT [ms]", "deg", "CPU", "disk",
+               "mem", "temp pg/join", "QPS"});
+  for (const StrategyConfig& strategy : all) {
+    SystemConfig cfg = base;
+    cfg.strategy = strategy;
+    std::printf("running %-20s ...\n", strategy.Name().c_str());
+    Cluster cluster(cfg);
+    MetricsReport r = cluster.Run();
+    const char* type =
+        strategy.integrated != IntegratedPolicyKind::kNone ? "integrated"
+        : strategy.degree == DegreePolicyKind::kDynamicCpu ||
+                strategy.degree == DegreePolicyKind::kRateMatch
+            ? "isolated/dyn"
+            : "isolated/static";
+    t.AddRow({strategy.Name(), type, TextTable::Num(r.join_rt_ms, 1),
+              TextTable::Num(r.avg_degree, 1),
+              TextTable::Num(r.cpu_utilization, 2),
+              TextTable::Num(r.disk_utilization, 2),
+              TextTable::Num(r.memory_utilization, 2),
+              TextTable::Num(r.temp_pages_written_per_join, 1),
+              TextTable::Num(r.join_throughput_qps, 2)});
+  }
+  std::printf("\n");
+  std::fputs(t.ToString().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,257 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "bufmgr/buffer_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdblb {
+
+BufferManager::BufferManager(sim::Scheduler& sched, const BufferConfig& config,
+                             DiskArray& disks, std::string name)
+    : sched_(sched), config_(config), disks_(disks), name_(std::move(name)) {}
+
+void BufferManager::Touch(PageKey page) {
+  auto it = frames_.find(page);
+  assert(it != frames_.end());
+  Frame& f = it->second;
+  lru_.erase(f.lru_pos);
+  lru_.push_front(page);
+  f.lru_pos = lru_.begin();
+  f.prev_access = f.last_access;
+  f.last_access = sched_.Now();
+}
+
+void BufferManager::Admit(PageKey page) {
+  assert(frames_.find(page) == frames_.end());
+  lru_.push_front(page);
+  Frame f;
+  f.lru_pos = lru_.begin();
+  f.last_access = sched_.Now();
+  frames_[page] = f;
+}
+
+void BufferManager::ShrinkResidentTo(int limit) {
+  if (limit < 0) limit = 0;
+  while (static_cast<int>(frames_.size()) > limit) {
+    PageKey victim = lru_.back();
+    auto it = frames_.find(victim);
+    assert(it != frames_.end());
+    if (it->second.dirty) {
+      ++dirty_writebacks_;
+      // No-force policy: dirty pages are written back asynchronously.
+      sched_.Spawn(disks_.WriteRandom(victim));
+    }
+    frames_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+sim::Task<bool> BufferManager::Fetch(PageKey page, AccessPattern pattern,
+                                     bool priority_oltp) {
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    ++hits_;
+    Touch(page);
+    co_return true;
+  }
+  ++misses_;
+
+  if (UnreservedFrames() <= 0 && priority_oltp) {
+    // Higher-priority OLTP work may reclaim join working space.
+    StealFromVictims(1);
+  }
+
+  co_await disks_.Read(page, pattern);
+
+  // A concurrent fetch may have admitted the page while we were on disk.
+  if (frames_.find(page) != frames_.end()) {
+    Touch(page);
+    co_return false;
+  }
+  int pool_limit = UnreservedFrames();
+  if (pool_limit > 0) {
+    // Make room for the new page, then admit it.
+    ShrinkResidentTo(pool_limit - 1);
+    Admit(page);
+  }
+  // else: every frame is reserved by join working spaces and the caller has
+  // no steal privilege; the page is passed through without caching.
+  co_return false;
+}
+
+sim::Task<int64_t> BufferManager::FetchRange(PageKey first, int64_t count) {
+  int64_t hits = 0;
+  // Identify the missing runs up front; each run is read with one striped
+  // request across the disk array.
+  std::vector<std::pair<int64_t, int64_t>> runs;  // (offset, length)
+  int64_t run_start = -1;
+  for (int64_t i = 0; i < count; ++i) {
+    PageKey p{first.relation_id, first.page_no + i};
+    if (frames_.find(p) != frames_.end()) {
+      ++hits_;
+      ++hits;
+      Touch(p);
+      if (run_start >= 0) {
+        runs.emplace_back(run_start, i - run_start);
+        run_start = -1;
+      }
+    } else {
+      ++misses_;
+      if (run_start < 0) run_start = i;
+    }
+  }
+  if (run_start >= 0) runs.emplace_back(run_start, count - run_start);
+
+  for (auto [offset, length] : runs) {
+    co_await disks_.ReadStriped(
+        PageKey{first.relation_id, first.page_no + offset}, length);
+    for (int64_t i = 0; i < length; ++i) {
+      PageKey p{first.relation_id, first.page_no + offset + i};
+      if (frames_.find(p) != frames_.end()) {
+        Touch(p);  // admitted by a concurrent fetch meanwhile
+        continue;
+      }
+      int pool_limit = UnreservedFrames();
+      if (pool_limit > 0) {
+        ShrinkResidentTo(pool_limit - 1);
+        Admit(p);
+      }
+    }
+  }
+  co_return hits;
+}
+
+void BufferManager::MarkDirty(PageKey page) {
+  auto it = frames_.find(page);
+  if (it != frames_.end()) it->second.dirty = true;
+}
+
+bool BufferManager::IsResident(PageKey page) const {
+  return frames_.find(page) != frames_.end();
+}
+
+int BufferManager::TryReserve(int want_pages) {
+  if (!mem_queue_.empty()) return 0;  // FCFS: queued joins go first
+  // Joins may only reserve pages the protected hot set does not need.
+  int granted = std::min(want_pages, GrantablePages());
+  if (granted <= 0) return 0;
+  reserved_ += granted;
+  ShrinkResidentTo(UnreservedFrames());
+  return granted;
+}
+
+sim::Task<int> BufferManager::ReserveWait(int min_pages, int want_pages) {
+  min_pages = std::max(1, min_pages);
+  want_pages = std::max(want_pages, min_pages);
+
+  if (mem_queue_.empty() && GrantablePages() >= min_pages) {
+    int granted = std::min(want_pages, GrantablePages());
+    reserved_ += granted;
+    ShrinkResidentTo(UnreservedFrames());
+    co_return granted;
+  }
+
+  MemWaiter waiter{min_pages, want_pages, 0, nullptr};
+  mem_queue_.push_back(&waiter);
+
+  struct Awaiter {
+    MemWaiter* w;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { w->handle = h; }
+    void await_resume() const noexcept {}
+  };
+  co_await Awaiter{&waiter};
+  co_return waiter.granted;
+}
+
+void BufferManager::ServeMemoryQueue() {
+  while (!mem_queue_.empty()) {
+    MemWaiter* head = mem_queue_.front();
+    if (GrantablePages() < head->min_pages) break;
+    head->granted = std::min(head->want_pages, GrantablePages());
+    reserved_ += head->granted;
+    ShrinkResidentTo(UnreservedFrames());
+    mem_queue_.pop_front();
+    // The waiter may not have suspended yet if Serve runs in the same event;
+    // the handle is always set before any other event runs because the
+    // queue is only served from ReleaseReservation (a separate event).
+    assert(head->handle);
+    sched_.ScheduleHandle(sched_.Now(), head->handle);
+  }
+}
+
+void BufferManager::ReleaseReservation(int pages) {
+  assert(pages >= 0);
+  assert(reserved_ >= pages);
+  reserved_ -= pages;
+  ServeMemoryQueue();
+}
+
+void BufferManager::RegisterVictim(MemoryVictim* victim) {
+  victims_.push_back(victim);
+}
+
+void BufferManager::UnregisterVictim(MemoryVictim* victim) {
+  victims_.erase(std::remove(victims_.begin(), victims_.end(), victim),
+                 victims_.end());
+}
+
+void BufferManager::StealFromVictims(int needed) {
+  while (UnreservedFrames() < needed) {
+    MemoryVictim* fattest = nullptr;
+    for (MemoryVictim* v : victims_) {
+      if (v->ReservedPages() <= 0) continue;
+      if (fattest == nullptr ||
+          v->ReservedPages() > fattest->ReservedPages()) {
+        fattest = v;
+      }
+    }
+    if (fattest == nullptr) break;
+    int got = fattest->StealPages(needed - UnreservedFrames());
+    if (got <= 0) break;
+    assert(got <= reserved_);
+    reserved_ -= got;
+    pages_stolen_ += got;
+  }
+}
+
+int BufferManager::TouchedPages() const {
+  SimTime cutoff = sched_.Now() - config_.touched_window_ms;
+  int count = 0;
+  for (const auto& [page, frame] : frames_) {
+    if (frame.last_access >= cutoff) ++count;
+  }
+  return count;
+}
+
+int BufferManager::HotPages() const {
+  SimTime cutoff = sched_.Now() - config_.working_set_window_ms;
+  int count = 0;
+  for (const auto& [page, frame] : frames_) {
+    if (frame.prev_access >= cutoff) ++count;
+  }
+  return count;
+}
+
+int BufferManager::AvailablePages() const {
+  return std::max(0, capacity() - reserved_ - TouchedPages());
+}
+
+int BufferManager::GrantablePages() const {
+  return std::max(0, capacity() - reserved_ - HotPages());
+}
+
+double BufferManager::MemoryUtilization() const {
+  double used = std::min<double>(capacity(), reserved_ + HotPages());
+  return used / static_cast<double>(capacity());
+}
+
+void BufferManager::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+  pages_stolen_ = 0;
+  dirty_writebacks_ = 0;
+}
+
+}  // namespace pdblb

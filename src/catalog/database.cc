@@ -1,0 +1,75 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "catalog/database.h"
+
+#include <cassert>
+
+namespace pdblb {
+
+Database::Database(const SystemConfig& config) : num_pes_(config.num_pes) {
+  int num_a = config.NumANodes();
+  for (PeId pe = 0; pe < num_a; ++pe) a_nodes_.push_back(pe);
+  for (PeId pe = num_a; pe < config.num_pes; ++pe) b_nodes_.push_back(pe);
+
+  for (PeId pe = 0; pe < config.num_pes; ++pe) all_nodes_.push_back(pe);
+
+  a_ = std::make_unique<Relation>(kRelationA, config.relation_a, a_nodes_);
+  b_ = std::make_unique<Relation>(kRelationB, config.relation_b, b_nodes_);
+  c_ = std::make_unique<Relation>(kRelationC, config.relation_c, all_nodes_);
+
+  oltp_relations_.resize(config.num_pes);
+  if (config.oltp.enabled) {
+    switch (config.oltp.placement) {
+      case OltpPlacement::kANodes:
+        oltp_nodes_ = a_nodes_;
+        break;
+      case OltpPlacement::kBNodes:
+        oltp_nodes_ = b_nodes_;
+        break;
+      case OltpPlacement::kAllNodes:
+        for (PeId pe = 0; pe < config.num_pes; ++pe) oltp_nodes_.push_back(pe);
+        break;
+    }
+    for (PeId pe : oltp_nodes_) {
+      RelationConfig rel;
+      rel.name = "OLTP" + std::to_string(pe);
+      rel.num_tuples = config.oltp.tuples_per_node;
+      rel.tuple_size_bytes = 100;
+      rel.blocking_factor = config.oltp.blocking_factor;
+      rel.index = IndexType::kUnclusteredBTree;
+      oltp_relations_[pe] = std::make_unique<Relation>(
+          kOltpRelationBase + pe, rel, std::vector<PeId>{pe});
+    }
+  }
+}
+
+const Relation* Database::oltp_relation(PeId pe) const {
+  assert(pe >= 0 && pe < num_pes_);
+  return oltp_relations_[pe].get();
+}
+
+const Relation& Database::target(TargetRelation t) const {
+  switch (t) {
+    case TargetRelation::kA:
+      return *a_;
+    case TargetRelation::kB:
+      return *b_;
+    case TargetRelation::kC:
+      break;
+  }
+  return *c_;
+}
+
+const std::vector<PeId>& Database::target_nodes(TargetRelation t) const {
+  switch (t) {
+    case TargetRelation::kA:
+      return a_nodes_;
+    case TargetRelation::kB:
+      return b_nodes_;
+    case TargetRelation::kC:
+      break;
+  }
+  return all_nodes_;
+}
+
+}  // namespace pdblb

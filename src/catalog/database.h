@@ -1,0 +1,70 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// The Database assembles the paper's schema from a SystemConfig:
+//  * relation A  — declustered over the first 20% of PEs ("A nodes"),
+//  * relation B  — declustered over the remaining 80% ("B nodes"),
+//  * one OLTP-private relation per OLTP node (debit-credit style accounts,
+//    affinity-routed so OLTP processing is node-local, paper Section 5.3).
+
+#ifndef PDBLB_CATALOG_DATABASE_H_
+#define PDBLB_CATALOG_DATABASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/relation.h"
+#include "common/config.h"
+
+namespace pdblb {
+
+/// Well-known relation ids.
+inline constexpr int32_t kRelationA = 1;
+inline constexpr int32_t kRelationB = 2;
+inline constexpr int32_t kRelationC = 3;
+/// OLTP relation for node `pe` has id kOltpRelationBase + pe.
+inline constexpr int32_t kOltpRelationBase = 100;
+/// Temporary partitions (hash-join overflow files) use negative ids.
+inline constexpr int32_t kTempRelationBase = -1;
+
+class Database {
+ public:
+  explicit Database(const SystemConfig& config);
+
+  const Relation& a() const { return *a_; }
+  const Relation& b() const { return *b_; }
+  /// The multi-way join relation, declustered over all PEs.
+  const Relation& c() const { return *c_; }
+
+  /// PEs holding fragments of A (the first 20%) and of B (the rest).
+  const std::vector<PeId>& a_nodes() const { return a_nodes_; }
+  const std::vector<PeId>& b_nodes() const { return b_nodes_; }
+  const std::vector<PeId>& all_nodes() const { return all_nodes_; }
+
+  /// Resolves a query class's target relation.
+  const Relation& target(TargetRelation t) const;
+  const std::vector<PeId>& target_nodes(TargetRelation t) const;
+
+  /// PEs running the OLTP workload (empty when OLTP is disabled).
+  const std::vector<PeId>& oltp_nodes() const { return oltp_nodes_; }
+
+  /// The OLTP-private relation homed at `pe`; nullptr if `pe` is not an
+  /// OLTP node.
+  const Relation* oltp_relation(PeId pe) const;
+
+  int num_pes() const { return num_pes_; }
+
+ private:
+  int num_pes_;
+  std::unique_ptr<Relation> a_;
+  std::unique_ptr<Relation> b_;
+  std::unique_ptr<Relation> c_;
+  std::vector<PeId> a_nodes_;
+  std::vector<PeId> b_nodes_;
+  std::vector<PeId> all_nodes_;
+  std::vector<PeId> oltp_nodes_;
+  std::vector<std::unique_ptr<Relation>> oltp_relations_;  // index by PE
+};
+
+}  // namespace pdblb
+
+#endif  // PDBLB_CATALOG_DATABASE_H_

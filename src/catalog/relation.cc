@@ -1,0 +1,89 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "catalog/relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pdblb {
+
+Relation::Relation(int32_t id, RelationConfig config,
+                   std::vector<PeId> home_pes, int index_fanout)
+    : id_(id), config_(std::move(config)), home_pes_(std::move(home_pes)),
+      index_fanout_(index_fanout) {
+  assert(!home_pes_.empty());
+  assert(index_fanout_ >= 2);
+}
+
+int64_t Relation::TotalPages() const {
+  return (config_.num_tuples + config_.blocking_factor - 1) /
+         config_.blocking_factor;
+}
+
+int Relation::FragmentIndex(PeId pe) const {
+  auto it = std::find(home_pes_.begin(), home_pes_.end(), pe);
+  if (it == home_pes_.end()) return -1;
+  return static_cast<int>(it - home_pes_.begin());
+}
+
+bool Relation::IsHome(PeId pe) const { return FragmentIndex(pe) >= 0; }
+
+int64_t Relation::TuplesAt(PeId pe) const {
+  int idx = FragmentIndex(pe);
+  if (idx < 0) return 0;
+  int64_t n = static_cast<int64_t>(home_pes_.size());
+  int64_t base = config_.num_tuples / n;
+  // The last fragment absorbs the remainder.
+  if (idx == n - 1) return config_.num_tuples - base * (n - 1);
+  return base;
+}
+
+int64_t Relation::PagesAt(PeId pe) const {
+  int64_t tuples = TuplesAt(pe);
+  return (tuples + config_.blocking_factor - 1) / config_.blocking_factor;
+}
+
+int Relation::IndexLevels(PeId pe) const {
+  if (config_.index == IndexType::kNone) return 0;
+  int64_t leaves = config_.index == IndexType::kClusteredBTree
+                       ? PagesAt(pe)
+                       : IndexLeafPages(pe);
+  if (leaves <= 1) return 1;
+  // Levels above the leaves: ceil(log_fanout(leaves)).
+  int levels = 1;  // at least the root
+  int64_t span = index_fanout_;
+  while (span < leaves) {
+    span *= index_fanout_;
+    ++levels;
+  }
+  return levels;
+}
+
+int64_t Relation::IndexLeafPages(PeId pe) const {
+  if (config_.index != IndexType::kUnclusteredBTree) return 0;
+  int64_t tuples = TuplesAt(pe);
+  return (tuples + index_fanout_ - 1) / index_fanout_;
+}
+
+PageKey Relation::DataPage(PeId pe, int64_t i) const {
+  int idx = FragmentIndex(pe);
+  assert(idx >= 0);
+  assert(i >= 0 && i < PagesAt(pe));
+  // Fragment f starts at f * ceil(total/[#fragments]) — contiguous global
+  // numbering is only used as a cache/buffer identity, so a simple fragment
+  // stride is sufficient.
+  int64_t stride = TotalPages() / static_cast<int64_t>(home_pes_.size()) + 1;
+  return PageKey{id_, static_cast<int64_t>(idx) * stride + i};
+}
+
+PageKey Relation::IndexLeafPage(PeId pe, int64_t i) const {
+  int idx = FragmentIndex(pe);
+  assert(idx >= 0);
+  // Index leaves live in a shifted page-number space above the data pages.
+  int64_t stride = TotalPages() / static_cast<int64_t>(home_pes_.size()) + 1;
+  int64_t index_base = (static_cast<int64_t>(home_pes_.size()) + 1) * stride;
+  return PageKey{id_, index_base + static_cast<int64_t>(idx) * stride + i};
+}
+
+}  // namespace pdblb

@@ -1,0 +1,98 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Database model: relations, horizontal declustering over PEs, page/tuple
+// geometry and B+-tree index descriptors (paper Section 4, "Database and
+// workload model").  The catalog is pure metadata — the simulator never
+// materializes tuple payloads, only counts pages and tuples.
+
+#ifndef PDBLB_CATALOG_RELATION_H_
+#define PDBLB_CATALOG_RELATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/units.h"
+
+namespace pdblb {
+
+/// Identifies a page of a relation (or temp partition) for buffering and
+/// disk-cache purposes.
+struct PageKey {
+  int32_t relation_id = 0;
+  int64_t page_no = 0;
+
+  bool operator==(const PageKey&) const = default;
+};
+
+struct PageKeyHash {
+  size_t operator()(const PageKey& k) const {
+    uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(k.relation_id))
+                  << 40) ^
+                 static_cast<uint64_t>(k.page_no);
+    // splitmix64 finalizer for good spread across disks.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+/// A horizontally declustered relation.
+class Relation {
+ public:
+  Relation(int32_t id, RelationConfig config, std::vector<PeId> home_pes,
+           int index_fanout = 200);
+
+  int32_t id() const { return id_; }
+  const std::string& name() const { return config_.name; }
+  const RelationConfig& config() const { return config_; }
+  const std::vector<PeId>& home_pes() const { return home_pes_; }
+
+  int64_t num_tuples() const { return config_.num_tuples; }
+  int blocking_factor() const { return config_.blocking_factor; }
+  IndexType index_type() const { return config_.index; }
+
+  /// Total data pages of the relation.
+  int64_t TotalPages() const;
+
+  /// Tuples stored at one home PE (uniform declustering; the last PE absorbs
+  /// the remainder).
+  int64_t TuplesAt(PeId pe) const;
+
+  /// Data pages of the fragment at one home PE.
+  int64_t PagesAt(PeId pe) const;
+
+  /// True if `pe` holds a fragment of this relation.
+  bool IsHome(PeId pe) const;
+
+  /// Number of B+-tree levels above the data/leaf level that must be
+  /// traversed for a key lookup.  For clustered indices the leaf level *is*
+  /// the data page; for unclustered indices the leaf holds (key, RID) pairs.
+  int IndexLevels(PeId pe) const;
+
+  /// Leaf pages of an unclustered index fragment at `pe` (0 for clustered /
+  /// no index).
+  int64_t IndexLeafPages(PeId pe) const;
+
+  /// PageKey of the i-th data page of the fragment at `pe` (pages are
+  /// numbered globally; fragment f occupies a contiguous range).
+  PageKey DataPage(PeId pe, int64_t i) const;
+
+  /// PageKey of the i-th leaf page of the unclustered index fragment at `pe`.
+  PageKey IndexLeafPage(PeId pe, int64_t i) const;
+
+ private:
+  int FragmentIndex(PeId pe) const;  // -1 if not home
+
+  int32_t id_;
+  RelationConfig config_;
+  std::vector<PeId> home_pes_;
+  int index_fanout_;
+};
+
+}  // namespace pdblb
+
+#endif  // PDBLB_CATALOG_RELATION_H_

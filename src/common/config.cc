@@ -1,0 +1,219 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "common/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdblb {
+
+std::string StrategyConfig::Name() const {
+  std::string name;
+  switch (integrated) {
+    case IntegratedPolicyKind::kMinIO:
+      name = "MIN-IO";
+      break;
+    case IntegratedPolicyKind::kMinIOSuOpt:
+      name = "MIN-IO-SUOPT";
+      break;
+    case IntegratedPolicyKind::kOptIOCpu:
+      name = "OPT-IO-CPU";
+      break;
+    case IntegratedPolicyKind::kNone:
+      break;
+  }
+  if (!name.empty()) {
+    if (skew_aware_assignment) name += " (skew-aware)";
+    return name;
+  }
+  switch (degree) {
+    case DegreePolicyKind::kStaticSuOpt:
+      name = "p_su-opt";
+      break;
+    case DegreePolicyKind::kStaticSuNoIO:
+      name = "p_su-noIO";
+      break;
+    case DegreePolicyKind::kDynamicCpu:
+      name = "p_mu-cpu";
+      break;
+    case DegreePolicyKind::kRateMatch:
+      name = "RateMatch";
+      break;
+  }
+  name += " + ";
+  switch (selection) {
+    case SelectionPolicyKind::kRandom:
+      name += "RANDOM";
+      break;
+    case SelectionPolicyKind::kLUC:
+      name += "LUC";
+      break;
+    case SelectionPolicyKind::kLUM:
+      name += "LUM";
+      break;
+  }
+  if (skew_aware_assignment) name += " (skew-aware)";
+  return name;
+}
+
+int SystemConfig::NumANodes() const {
+  int a = static_cast<int>(std::lround(a_node_fraction * num_pes));
+  return std::clamp(a, 1, num_pes - 1);
+}
+
+int64_t SystemConfig::RelationPages(const RelationConfig& rel) {
+  if (rel.blocking_factor <= 0) return 0;
+  return (rel.num_tuples + rel.blocking_factor - 1) / rel.blocking_factor;
+}
+
+int64_t SystemConfig::InnerInputTuples() const {
+  return static_cast<int64_t>(
+      std::llround(join_query.scan_selectivity * relation_a.num_tuples));
+}
+
+int64_t SystemConfig::OuterInputTuples() const {
+  return static_cast<int64_t>(
+      std::llround(join_query.scan_selectivity * relation_b.num_tuples));
+}
+
+int64_t SystemConfig::InnerInputPages() const {
+  int64_t tuples = InnerInputTuples();
+  int bf = relation_a.blocking_factor;
+  return (tuples + bf - 1) / bf;
+}
+
+int64_t SystemConfig::OuterInputPages() const {
+  int64_t tuples = OuterInputTuples();
+  int bf = relation_b.blocking_factor;
+  return (tuples + bf - 1) / bf;
+}
+
+Status SystemConfig::Validate() const {
+  if (num_pes < 2) {
+    return Status::InvalidArgument("num_pes must be >= 2");
+  }
+  if (cpus_per_pe < 1) {
+    return Status::InvalidArgument("cpus_per_pe must be >= 1");
+  }
+  if (mips_per_pe <= 0) {
+    return Status::InvalidArgument("mips_per_pe must be positive");
+  }
+  if (buffer.buffer_pages < 1) {
+    return Status::InvalidArgument("buffer_pages must be >= 1");
+  }
+  if (buffer.page_size_bytes < 512) {
+    return Status::InvalidArgument("page_size_bytes must be >= 512");
+  }
+  if (disk.disks_per_pe < 1) {
+    return Status::InvalidArgument("disks_per_pe must be >= 1");
+  }
+  if (disk.prefetch_pages < 1) {
+    return Status::InvalidArgument("prefetch_pages must be >= 1");
+  }
+  if (a_node_fraction <= 0.0 || a_node_fraction >= 1.0) {
+    return Status::InvalidArgument("a_node_fraction must be in (0,1)");
+  }
+  if (join_query.scan_selectivity <= 0.0 || join_query.scan_selectivity > 1.0) {
+    return Status::InvalidArgument("scan_selectivity must be in (0,1]");
+  }
+  if (join_query.fudge_factor < 1.0) {
+    return Status::InvalidArgument("fudge_factor must be >= 1.0");
+  }
+  if (join_query.redistribution_skew < 0.0 ||
+      join_query.redistribution_skew > 4.0) {
+    return Status::InvalidArgument("redistribution_skew must be in [0,4]");
+  }
+  if (relation_a.num_tuples <= 0 || relation_b.num_tuples <= 0) {
+    return Status::InvalidArgument("relations must be non-empty");
+  }
+  if (relation_a.blocking_factor <= 0 || relation_b.blocking_factor <= 0) {
+    return Status::InvalidArgument("blocking_factor must be positive");
+  }
+  if (multiprogramming_level < 1) {
+    return Status::InvalidArgument("multiprogramming_level must be >= 1");
+  }
+  if (measurement_ms <= 0) {
+    return Status::InvalidArgument("measurement_ms must be positive");
+  }
+  if (oltp.enabled && oltp.tps_per_node <= 0) {
+    return Status::InvalidArgument("oltp.tps_per_node must be positive");
+  }
+  if (scan_query.enabled &&
+      (scan_query.selectivity <= 0.0 || scan_query.selectivity > 1.0)) {
+    return Status::InvalidArgument("scan_query.selectivity must be in (0,1]");
+  }
+  if (update_query.enabled &&
+      (update_query.selectivity <= 0.0 || update_query.selectivity > 1.0)) {
+    return Status::InvalidArgument(
+        "update_query.selectivity must be in (0,1]");
+  }
+  if (multiway_join.enabled && multiway_join.ways < 3) {
+    return Status::InvalidArgument("multiway_join.ways must be >= 3");
+  }
+  if (relation_c.num_tuples <= 0 || relation_c.blocking_factor <= 0) {
+    return Status::InvalidArgument("relation_c must be non-empty");
+  }
+  return Status::OK();
+}
+
+namespace strategies {
+
+namespace {
+StrategyConfig Isolated(DegreePolicyKind degree, SelectionPolicyKind sel) {
+  StrategyConfig s;
+  s.integrated = IntegratedPolicyKind::kNone;
+  s.degree = degree;
+  s.selection = sel;
+  return s;
+}
+StrategyConfig Integrated(IntegratedPolicyKind kind) {
+  StrategyConfig s;
+  s.integrated = kind;
+  return s;
+}
+}  // namespace
+
+StrategyConfig PsuOptRandom() {
+  return Isolated(DegreePolicyKind::kStaticSuOpt, SelectionPolicyKind::kRandom);
+}
+StrategyConfig PsuOptLUC() {
+  return Isolated(DegreePolicyKind::kStaticSuOpt, SelectionPolicyKind::kLUC);
+}
+StrategyConfig PsuOptLUM() {
+  return Isolated(DegreePolicyKind::kStaticSuOpt, SelectionPolicyKind::kLUM);
+}
+StrategyConfig PsuNoIORandom() {
+  return Isolated(DegreePolicyKind::kStaticSuNoIO,
+                  SelectionPolicyKind::kRandom);
+}
+StrategyConfig PsuNoIOLUC() {
+  return Isolated(DegreePolicyKind::kStaticSuNoIO, SelectionPolicyKind::kLUC);
+}
+StrategyConfig PsuNoIOLUM() {
+  return Isolated(DegreePolicyKind::kStaticSuNoIO, SelectionPolicyKind::kLUM);
+}
+StrategyConfig PmuCpuRandom() {
+  return Isolated(DegreePolicyKind::kDynamicCpu, SelectionPolicyKind::kRandom);
+}
+StrategyConfig PmuCpuLUM() {
+  return Isolated(DegreePolicyKind::kDynamicCpu, SelectionPolicyKind::kLUM);
+}
+StrategyConfig RateMatchRandom() {
+  return Isolated(DegreePolicyKind::kRateMatch, SelectionPolicyKind::kRandom);
+}
+StrategyConfig RateMatchLUC() {
+  return Isolated(DegreePolicyKind::kRateMatch, SelectionPolicyKind::kLUC);
+}
+StrategyConfig RateMatchLUM() {
+  return Isolated(DegreePolicyKind::kRateMatch, SelectionPolicyKind::kLUM);
+}
+StrategyConfig MinIO() { return Integrated(IntegratedPolicyKind::kMinIO); }
+StrategyConfig MinIOSuOpt() {
+  return Integrated(IntegratedPolicyKind::kMinIOSuOpt);
+}
+StrategyConfig OptIOCpu() {
+  return Integrated(IntegratedPolicyKind::kOptIOCpu);
+}
+
+}  // namespace strategies
+}  // namespace pdblb

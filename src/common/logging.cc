@@ -1,0 +1,57 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace pdblb {
+
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("PDBLB_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kOff;
+  int value = std::atoi(env);
+  if (value < 0) value = 0;
+  if (value > 4) value = 4;
+  return static_cast<LogLevel>(value);
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = InitialLevel();
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kTrace:
+      return "T";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+
+LogLevel GetLogLevel() { return MutableLevel(); }
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(MutableLevel()) &&
+         level != LogLevel::kOff;
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (!LogEnabled(level)) return;
+  std::cerr << "[pdblb " << LevelTag(level) << "] " << message << "\n";
+}
+
+}  // namespace pdblb

@@ -1,0 +1,56 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Minimal leveled logging for the simulator.  Logging is off by default so
+// that benchmark binaries produce clean tabular output; tests and debugging
+// sessions can raise the level via SetLogLevel() or the PDBLB_LOG_LEVEL
+// environment variable (0=off, 1=error, 2=info, 3=debug, 4=trace).
+
+#ifndef PDBLB_COMMON_LOGGING_H_
+#define PDBLB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pdblb {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+bool LogEnabled(LogLevel level);
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pdblb
+
+#define PDBLB_LOG(level)                                  \
+  if (!::pdblb::LogEnabled(::pdblb::LogLevel::level)) {   \
+  } else                                                  \
+    ::pdblb::internal::LogLine(::pdblb::LogLevel::level)
+
+#endif  // PDBLB_COMMON_LOGGING_H_

@@ -1,0 +1,43 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// A small fixed-width text table printer used by the benchmark harness and
+// example programs to emit the rows/series of the paper's figures.
+
+#ifndef PDBLB_COMMON_TABLE_H_
+#define PDBLB_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace pdblb {
+
+/// Builds an aligned, plain-text table.
+///
+/// Usage:
+///   TextTable t({"# PE", "strategy", "resp time [ms]"});
+///   t.AddRow({"10", "MIN-IO", "213.4"});
+///   std::cout << t.ToString();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one data row.  Rows shorter than the header are padded with
+  /// empty cells; longer rows extend the column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string Num(double value, int precision = 1);
+
+  /// Renders the table with a header underline.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdblb
+
+#endif  // PDBLB_COMMON_TABLE_H_

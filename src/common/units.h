@@ -1,0 +1,43 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Basic unit definitions shared across all pdblb modules.
+//
+// Simulated time is measured in milliseconds throughout the code base
+// (`SimTime`).  CPU work is expressed in instructions and converted to time
+// through a processing element's MIPS rating.
+
+#ifndef PDBLB_COMMON_UNITS_H_
+#define PDBLB_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace pdblb {
+
+/// Simulated time in milliseconds.
+using SimTime = double;
+
+/// Identifier of a processing element (PE).  PEs are numbered 0..n-1.
+using PeId = int;
+
+/// Identifier of a transaction or query instance.
+using TxnId = int64_t;
+
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+
+/// Converts an instruction count into milliseconds of CPU service time for a
+/// processor rated at `mips` million instructions per second.
+inline constexpr SimTime InstructionsToMs(int64_t instructions, double mips) {
+  // mips MIPS == mips * 1e6 instructions/second == mips * 1e3 instructions/ms.
+  return static_cast<SimTime>(instructions) / (mips * 1e3);
+}
+
+/// Converts seconds to the internal millisecond representation.
+inline constexpr SimTime SecondsToMs(double seconds) { return seconds * 1e3; }
+
+/// Converts the internal millisecond representation to seconds.
+inline constexpr double MsToSeconds(SimTime ms) { return ms / 1e3; }
+
+}  // namespace pdblb
+
+#endif  // PDBLB_COMMON_UNITS_H_

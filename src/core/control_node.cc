@@ -1,0 +1,83 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "core/control_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdblb {
+
+ControlNode::ControlNode(int num_pes, bool adaptive_feedback,
+                         double cpu_bump_factor)
+    : adaptive_feedback_(adaptive_feedback),
+      cpu_bump_factor_(cpu_bump_factor) {
+  info_.resize(num_pes);
+  for (int i = 0; i < num_pes; ++i) info_[i].pe = i;
+}
+
+void ControlNode::Report(PeId pe, double cpu_util, int free_memory_pages,
+                         double disk_util) {
+  assert(pe >= 0 && pe < static_cast<int>(info_.size()));
+  info_[pe].cpu_util = std::clamp(cpu_util, 0.0, 1.0);
+  info_[pe].free_memory_pages = std::max(0, free_memory_pages);
+  info_[pe].disk_util = std::clamp(disk_util, 0.0, 1.0);
+}
+
+double ControlNode::AvgCpuUtilization() const {
+  double sum = 0.0;
+  for (const auto& i : info_) sum += i.cpu_util;
+  return info_.empty() ? 0.0 : sum / static_cast<double>(info_.size());
+}
+
+double ControlNode::AvgDiskUtilization() const {
+  double sum = 0.0;
+  for (const auto& i : info_) sum += i.disk_util;
+  return info_.empty() ? 0.0 : sum / static_cast<double>(info_.size());
+}
+
+std::vector<PeLoadInfo> ControlNode::AvailMemorySorted() const {
+  std::vector<PeLoadInfo> sorted = info_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const PeLoadInfo& a, const PeLoadInfo& b) {
+                     if (a.free_memory_pages != b.free_memory_pages) {
+                       return a.free_memory_pages > b.free_memory_pages;
+                     }
+                     return a.pe < b.pe;
+                   });
+  return sorted;
+}
+
+std::vector<PeLoadInfo> ControlNode::CpuSorted() const {
+  std::vector<PeLoadInfo> sorted = info_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const PeLoadInfo& a, const PeLoadInfo& b) {
+                     if (a.cpu_util != b.cpu_util) {
+                       return a.cpu_util < b.cpu_util;
+                     }
+                     return a.pe < b.pe;
+                   });
+  return sorted;
+}
+
+void ControlNode::NoteJoinScheduled(const std::vector<PeId>& pes,
+                                    int pages_per_pe) {
+  if (!adaptive_feedback_) return;
+  for (PeId pe : pes) {
+    PeLoadInfo& i = info_[pe];
+    i.cpu_util += (1.0 - i.cpu_util) * cpu_bump_factor_;
+    i.free_memory_pages = std::max(0, i.free_memory_pages - pages_per_pe);
+  }
+}
+
+void ControlNode::NoteSubjoinSize(PeId pe, int delta_pages,
+                                  double work_multiple) {
+  if (!adaptive_feedback_) return;
+  PeLoadInfo& i = info_[pe];
+  i.free_memory_pages = std::max(0, i.free_memory_pages - delta_pages);
+  if (work_multiple > 1.0) {
+    double extra = std::min(1.0, cpu_bump_factor_ * (work_multiple - 1.0));
+    i.cpu_util = std::min(1.0, i.cpu_util + (1.0 - i.cpu_util) * extra);
+  }
+}
+
+}  // namespace pdblb

@@ -1,0 +1,78 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// The designated control node (paper Section 3): every PE periodically
+// reports its CPU utilization and available memory; dynamic load-balancing
+// strategies query this (slightly stale) global view when planning a join.
+//
+// The control node also implements the "adaptive variation" of LUC/LUM:
+// when a join is scheduled on a set of PEs, their recorded CPU utilization
+// is artificially bumped and their recorded free memory reduced, so that
+// back-to-back joins do not herd onto the same processors while reports are
+// stale.
+
+#ifndef PDBLB_CORE_CONTROL_NODE_H_
+#define PDBLB_CORE_CONTROL_NODE_H_
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace pdblb {
+
+/// One PE's load as known to the control node.
+struct PeLoadInfo {
+  PeId pe = 0;
+  double cpu_util = 0.0;        ///< [0, 1]
+  int free_memory_pages = 0;    ///< AVAIL-MEMORY entry
+  double disk_util = 0.0;       ///< [0, 1]
+};
+
+class ControlNode {
+ public:
+  /// `cpu_bump_factor`: fraction of remaining headroom added to a selected
+  /// PE's recorded CPU utilization (0 disables the adaptive feedback).
+  ControlNode(int num_pes, bool adaptive_feedback,
+              double cpu_bump_factor = 0.25);
+
+  /// Periodic report from a PE (overwrites any adaptive adjustments).
+  void Report(PeId pe, double cpu_util, int free_memory_pages,
+              double disk_util);
+
+  /// Average reported CPU utilization over all PEs (u_cpu in formula 3.2).
+  double AvgCpuUtilization() const;
+
+  /// Average reported disk utilization over all PEs (used by the RateMatch
+  /// baseline, which works with averages only).
+  double AvgDiskUtilization() const;
+
+  const PeLoadInfo& info(PeId pe) const { return info_[pe]; }
+  int num_pes() const { return static_cast<int>(info_.size()); }
+
+  /// The AVAIL-MEMORY array: all PEs sorted by free memory, descending
+  /// (AVAIL-MEMORY[0] = most free memory).
+  std::vector<PeLoadInfo> AvailMemorySorted() const;
+
+  /// All PEs sorted by CPU utilization, ascending (for LUC).
+  std::vector<PeLoadInfo> CpuSorted() const;
+
+  /// Adaptive feedback: a join with `pages_per_pe` working space was placed
+  /// on `pes`.  No-op if adaptive feedback is disabled.
+  void NoteJoinScheduled(const std::vector<PeId>& pes, int pages_per_pe);
+
+  /// Skew correction on top of NoteJoinScheduled, applied by the executor
+  /// once the actual per-PE subjoin sizes are known (redistribution skew):
+  /// `delta_pages` is the working space beyond the uniform estimate already
+  /// booked, `work_multiple` the PE's tuple share relative to an equal split
+  /// (1.0 = equal).  Rotates hotspots between back-to-back joins.  No-op if
+  /// adaptive feedback is disabled.
+  void NoteSubjoinSize(PeId pe, int delta_pages, double work_multiple);
+
+ private:
+  std::vector<PeLoadInfo> info_;
+  bool adaptive_feedback_;
+  double cpu_bump_factor_;
+};
+
+}  // namespace pdblb
+
+#endif  // PDBLB_CORE_CONTROL_NODE_H_

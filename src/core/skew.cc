@@ -1,0 +1,68 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "core/skew.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace pdblb {
+
+std::vector<double> ZipfWeights(int parts, double theta) {
+  assert(parts >= 1);
+  std::vector<double> w(parts);
+  double sum = 0.0;
+  for (int j = 0; j < parts; ++j) {
+    w[j] = 1.0 / std::pow(static_cast<double>(j + 1), theta);
+    sum += w[j];
+  }
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+std::vector<int64_t> SplitWeighted(int64_t total,
+                                   const std::vector<double>& weights) {
+  assert(!weights.empty());
+  const int parts = static_cast<int>(weights.size());
+  std::vector<int64_t> shares(parts);
+  std::vector<std::pair<double, int>> remainders(parts);
+  int64_t assigned = 0;
+  for (int j = 0; j < parts; ++j) {
+    double exact = static_cast<double>(total) * weights[j];
+    shares[j] = static_cast<int64_t>(exact);  // floor
+    remainders[j] = {exact - static_cast<double>(shares[j]), j};
+    assigned += shares[j];
+  }
+  // Largest-remainder apportionment: hand out the missing items to the
+  // partitions that were rounded down the hardest (ties by index for
+  // determinism).
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (int64_t i = 0; i < total - assigned; ++i) {
+    ++shares[static_cast<size_t>(
+        remainders[static_cast<size_t>(i) % remainders.size()].second)];
+  }
+  return shares;
+}
+
+std::vector<double> AssignWeights(std::vector<double> weights, bool skew_aware,
+                                  sim::Rng& rng) {
+  if (skew_aware) {
+    std::sort(weights.begin(), weights.end(), std::greater<double>());
+    return weights;
+  }
+  // Fisher-Yates permutation driven by the simulation RNG (deterministic per
+  // seed).
+  for (size_t i = weights.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(weights[i - 1], weights[j]);
+  }
+  return weights;
+}
+
+}  // namespace pdblb

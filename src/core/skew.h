@@ -1,0 +1,47 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Redistribution-skew modeling and skew-aware subjoin assignment (the
+// extension the paper sketches in its conclusions: "the skew problem may be
+// reduced by dynamic load balancing strategies that do not try to generate
+// equally-sized subjoins but select the join processors dependent on the
+// size of the subjoins (by assigning larger subjoins to less loaded
+// nodes)").
+//
+// The partitioning function splits both join inputs into p partitions.  With
+// a skewed join-attribute distribution the partition sizes follow a Zipf-like
+// law; we model them as weights w_j ∝ 1/(j+1)^theta.  theta = 0 reproduces
+// the paper's base no-skew assumption exactly.
+
+#ifndef PDBLB_CORE_SKEW_H_
+#define PDBLB_CORE_SKEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simkern/rng.h"
+
+namespace pdblb {
+
+/// Normalized Zipf(theta) partition weights for `parts` partitions,
+/// descending.  theta = 0 yields the uniform split.
+std::vector<double> ZipfWeights(int parts, double theta);
+
+/// Apportions `total` items into shares proportional to `weights` using the
+/// largest-remainder method; the shares always sum to `total` exactly.
+std::vector<int64_t> SplitWeighted(int64_t total,
+                                   const std::vector<double>& weights);
+
+/// Maps partition weights onto the planner's PE list.
+///
+/// The planner returns PEs in "goodness" order (LUM: most free memory first,
+/// LUC: least utilized CPU first).  Skew-aware assignment exploits this by
+/// pairing the heaviest partition with the best PE: the returned weights are
+/// simply kept descending.  The skew-oblivious baseline models a hash
+/// partitioner that does not know partition sizes: the weights are randomly
+/// permuted, so the heaviest partition lands on an arbitrary selected PE.
+std::vector<double> AssignWeights(std::vector<double> weights,
+                                  bool skew_aware, sim::Rng& rng);
+
+}  // namespace pdblb
+
+#endif  // PDBLB_CORE_SKEW_H_

@@ -1,0 +1,268 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "engine/cluster.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "engine/join_executor.h"
+#include "engine/multiway_executor.h"
+#include "engine/oltp_executor.h"
+#include "engine/scan_executor.h"
+#include "workload/arrivals.h"
+
+namespace pdblb {
+
+Cluster::Cluster(const SystemConfig& config)
+    : config_(config), root_rng_(config.seed),
+      workload_rng_(root_rng_.Fork(1)), arrival_rng_(root_rng_.Fork(2)) {
+  Status st = config_.Validate();
+  assert(st.ok() && "invalid SystemConfig");
+  (void)st;
+
+  if (config_.architecture == Architecture::kSharedDisk) {
+    // The global spindle pool of the storage subsystem: every PE's facade
+    // shares these disks.  The pool's own CPU/controller are never used —
+    // all I/O goes through the per-PE storage adapters.
+    storage_cpu_ = std::make_unique<sim::Resource>(sched_, 1, "storage.cpu");
+    DiskConfig pool = config_.disk;
+    pool.disks_per_pe = config_.disk.disks_per_pe * config_.num_pes;
+    shared_disks_ = std::make_unique<DiskArray>(
+        sched_, pool, config_.costs, config_.mips_per_pe, *storage_cpu_,
+        "storage");
+  }
+
+  pes_.reserve(config_.num_pes);
+  for (PeId id = 0; id < config_.num_pes; ++id) {
+    pes_.push_back(std::make_unique<ProcessingElement>(sched_, config_, id,
+                                                       shared_disks_.get()));
+  }
+  db_ = std::make_unique<Database>(config_);
+  net_ = std::make_unique<Network>(
+      sched_, config_.network, config_.costs, config_.mips_per_pe,
+      [this](PeId pe) -> sim::Resource& { return pes_[pe]->cpu(); });
+  control_ = std::make_unique<ControlNode>(config_.num_pes,
+                                           config_.adaptive_selection_feedback);
+  cost_model_ = std::make_unique<CostModel>(config_);
+  policy_ = LoadBalancingPolicy::Create(config_.strategy);
+
+  std::vector<LockManager*> lock_managers;
+  for (auto& pe : pes_) lock_managers.push_back(&pe->locks());
+  deadlock_detector_ =
+      std::make_unique<DeadlockDetector>(sched_, std::move(lock_managers));
+
+  plan_request_.hash_table_pages = cost_model_->HashTablePages();
+  plan_request_.psu_opt = cost_model_->PsuOpt();
+  plan_request_.psu_noio = cost_model_->PsuNoIO();
+  plan_request_.num_pes = config_.num_pes;
+  plan_request_.scan_rate_tps = cost_model_->ScanProductionRateTps();
+  plan_request_.join_rate_tps = cost_model_->JoinConsumptionRateTps();
+
+  // Seed the control node with an optimistic initial view (idle CPUs, all
+  // memory free) — exactly what a freshly booted system reports.
+  for (PeId id = 0; id < config_.num_pes; ++id) {
+    control_->Report(id, 0.0, pes_[id]->buffer().AvailablePages(), 0.0);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::ReportAllPes(SimTime window_ms) {
+  for (auto& pe : pes_) {
+    double cpu_busy = pe->cpu().BusyIntegral();
+    double cpu_util =
+        (cpu_busy - pe->last_cpu_busy_integral) /
+        (window_ms * static_cast<double>(config_.cpus_per_pe));
+    pe->last_cpu_busy_integral = cpu_busy;
+
+    double disk_busy = pe->disks().DataDiskBusyIntegral();
+    double disk_util =
+        (disk_busy - pe->last_disk_busy_integral) /
+        (window_ms * static_cast<double>(pe->disks().num_disks()));
+    pe->last_disk_busy_integral = disk_busy;
+
+    control_->Report(pe->id(), cpu_util, pe->buffer().AvailablePages(),
+                     disk_util);
+    metrics_.SampleUtilization(cpu_util, disk_util,
+                               pe->buffer().MemoryUtilization(), sched_.Now());
+    // The working-set estimate decays with time and does not generate
+    // events; give queued joins a chance to proceed.
+    pe->buffer().PumpMemoryQueue();
+  }
+}
+
+sim::Task<> Cluster::ControlReportLoop() {
+  const double interval = config_.control_report_interval_ms;
+  while (!sched_.ShuttingDown()) {
+    co_await sched_.Delay(interval);
+    ReportAllPes(interval);
+  }
+}
+
+void Cluster::SpawnBackground() {
+  sched_.Spawn(ControlReportLoop());
+  sched_.Spawn(deadlock_detector_->Run());
+}
+
+void Cluster::SpawnOpenWorkload() {
+  if (trace_.has_value()) {
+    // Trace-driven mode: one dispatcher replaces all Poisson sources.
+    sched_.Spawn(ReplayTrace(
+        sched_, std::move(*trace_), [this](const TraceEvent& event) {
+          switch (event.cls) {
+            case TraceClass::kJoin:
+              sched_.Spawn(ExecuteJoinQuery(*this));
+              break;
+            case TraceClass::kScan:
+              sched_.Spawn(ExecuteScanQuery(*this));
+              break;
+            case TraceClass::kUpdate:
+              sched_.Spawn(ExecuteUpdateQuery(*this));
+              break;
+            case TraceClass::kMultiwayJoin:
+              sched_.Spawn(ExecuteMultiwayJoinQuery(*this));
+              break;
+            case TraceClass::kOltp: {
+              PeId node = std::min<PeId>(event.oltp_node, config_.num_pes - 1);
+              // OLTP events need the node's private relation; traces with
+              // OLTP require oltp.enabled so the schema includes them.
+              if (db_->oltp_relation(node) != nullptr) {
+                sched_.Spawn(ExecuteOltpTransaction(*this, node));
+              }
+              break;
+            }
+          }
+        }));
+    trace_.reset();
+    return;
+  }
+  if (config_.join_query.arrival_rate_per_pe_qps > 0.0) {
+    double rate = config_.join_query.arrival_rate_per_pe_qps *
+                  static_cast<double>(config_.num_pes);
+    sched_.Spawn(PoissonArrivals(
+        sched_, arrival_rng_.Fork(10), rate,
+        [this](int64_t) { sched_.Spawn(ExecuteJoinQuery(*this)); }));
+  }
+  if (config_.scan_query.enabled &&
+      config_.scan_query.arrival_rate_per_pe_qps > 0.0) {
+    double rate = config_.scan_query.arrival_rate_per_pe_qps *
+                  static_cast<double>(config_.num_pes);
+    sched_.Spawn(PoissonArrivals(
+        sched_, arrival_rng_.Fork(20), rate,
+        [this](int64_t) { sched_.Spawn(ExecuteScanQuery(*this)); }));
+  }
+  if (config_.update_query.enabled &&
+      config_.update_query.arrival_rate_per_pe_qps > 0.0) {
+    double rate = config_.update_query.arrival_rate_per_pe_qps *
+                  static_cast<double>(config_.num_pes);
+    sched_.Spawn(PoissonArrivals(
+        sched_, arrival_rng_.Fork(30), rate,
+        [this](int64_t) { sched_.Spawn(ExecuteUpdateQuery(*this)); }));
+  }
+  if (config_.multiway_join.enabled &&
+      config_.multiway_join.arrival_rate_per_pe_qps > 0.0) {
+    double rate = config_.multiway_join.arrival_rate_per_pe_qps *
+                  static_cast<double>(config_.num_pes);
+    sched_.Spawn(PoissonArrivals(
+        sched_, arrival_rng_.Fork(40), rate,
+        [this](int64_t) { sched_.Spawn(ExecuteMultiwayJoinQuery(*this)); }));
+  }
+  if (config_.oltp.enabled) {
+    for (PeId node : db_->oltp_nodes()) {
+      sched_.Spawn(PoissonArrivals(
+          sched_, arrival_rng_.Fork(1000 + node), config_.oltp.tps_per_node,
+          [this, node](int64_t) {
+            sched_.Spawn(ExecuteOltpTransaction(*this, node));
+          }));
+    }
+  }
+}
+
+void Cluster::ResetStatistics() {
+  for (auto& pe : pes_) pe->ResetStats();
+  net_->ResetStats();
+}
+
+MetricsReport Cluster::Collect(SimTime measure_start,
+                               SimTime measure_end) const {
+  MetricsReport r;
+  double seconds = MsToSeconds(measure_end - measure_start);
+  r.measurement_seconds = seconds;
+
+  r.join_rt_ms = metrics_.join_rt().mean();
+  r.join_rt_max_ms = metrics_.join_rt().max();
+  r.joins_completed = metrics_.join_rt().count();
+  r.join_throughput_qps =
+      seconds > 0 ? static_cast<double>(r.joins_completed) / seconds : 0.0;
+  r.avg_degree = metrics_.degree().mean();
+  if (r.joins_completed > 0) {
+    r.temp_pages_written_per_join =
+        static_cast<double>(metrics_.temp_pages_written()) /
+        static_cast<double>(r.joins_completed);
+    r.temp_pages_read_per_join =
+        static_cast<double>(metrics_.temp_pages_read()) /
+        static_cast<double>(r.joins_completed);
+  }
+
+  r.oltp_rt_ms = metrics_.oltp_rt().mean();
+  r.oltp_completed = metrics_.oltp_rt().count();
+  r.oltp_throughput_tps =
+      seconds > 0 ? static_cast<double>(r.oltp_completed) / seconds : 0.0;
+  r.oltp_aborts = metrics_.oltp_aborts();
+
+  r.scan_rt_ms = metrics_.scan_rt().mean();
+  r.scans_completed = metrics_.scan_rt().count();
+  r.update_rt_ms = metrics_.update_rt().mean();
+  r.updates_completed = metrics_.update_rt().count();
+  r.update_aborts = metrics_.update_aborts();
+  r.multiway_rt_ms = metrics_.multiway_rt().mean();
+  r.multiway_completed = metrics_.multiway_rt().count();
+
+  r.cpu_utilization = metrics_.cpu_util().mean();
+  r.disk_utilization = metrics_.disk_util().mean();
+  r.memory_utilization = metrics_.mem_util().mean();
+  r.avg_memory_queue_wait_ms = metrics_.memory_queue_wait().mean();
+
+  for (const auto& pe : pes_) {
+    r.lock_waits += pe->locks().lock_waits();
+    r.deadlock_aborts += pe->locks().deadlock_aborts();
+  }
+  return r;
+}
+
+MetricsReport Cluster::Run() {
+  assert(!ran_ && "Cluster::Run may be called once");
+  ran_ = true;
+
+  SpawnBackground();
+  SimTime measure_start = 0.0;
+  SimTime measure_end = 0.0;
+
+  if (config_.single_user_mode) {
+    metrics_.SetWarmupEnd(0.0);
+    bool done = false;
+    sched_.Spawn(ClosedLoop(
+        config_.single_user_queries,
+        [this](int64_t) -> sim::Task<> { return ExecuteJoinQuery(*this); },
+        &done));
+    while (!done && sched_.pending_events() > 0) {
+      sched_.RunUntil(sched_.Now() + 60000.0);
+    }
+    measure_end = sched_.Now();
+  } else {
+    SpawnOpenWorkload();
+    metrics_.SetWarmupEnd(config_.warmup_ms);
+    sched_.RunUntil(config_.warmup_ms);
+    ResetStatistics();
+    measure_start = config_.warmup_ms;
+    measure_end = config_.warmup_ms + config_.measurement_ms;
+    sched_.RunUntil(measure_end);
+  }
+
+  MetricsReport report = Collect(measure_start, measure_end);
+  sched_.RequestShutdown();
+  sched_.Run();  // drain in-flight work; generators observe the shutdown
+  return report;
+}
+
+}  // namespace pdblb

@@ -1,0 +1,118 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Cluster: the assembled Shared Nothing database system.  Owns the event
+// scheduler, all PEs, the network, the control node, the deadlock detector,
+// the load-balancing policy and the measurement protocol.  This is the main
+// entry point of the public API:
+//
+//   SystemConfig cfg;                       // paper defaults
+//   cfg.num_pes = 80;
+//   cfg.strategy = strategies::OptIOCpu();
+//   Cluster cluster(cfg);
+//   MetricsReport r = cluster.Run();
+//   std::cout << r.join_rt_ms << "\n";
+
+#ifndef PDBLB_ENGINE_CLUSTER_H_
+#define PDBLB_ENGINE_CLUSTER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "catalog/database.h"
+#include "common/config.h"
+#include "common/status.h"
+#include "core/control_node.h"
+#include "core/cost_model.h"
+#include "core/strategies.h"
+#include "engine/metrics.h"
+#include "engine/pe.h"
+#include "lockmgr/deadlock_detector.h"
+#include "netsim/network.h"
+#include "simkern/rng.h"
+#include "simkern/scheduler.h"
+#include "workload/trace.h"
+
+namespace pdblb {
+
+class Cluster {
+ public:
+  /// The configuration must satisfy SystemConfig::Validate(); construction
+  /// asserts on invalid configurations (use Validate() directly for
+  /// user-facing checks).
+  explicit Cluster(const SystemConfig& config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- component access ----------------------------------------------------
+  const SystemConfig& config() const { return config_; }
+  sim::Scheduler& sched() { return sched_; }
+  Network& net() { return *net_; }
+  ControlNode& control() { return *control_; }
+  const Database& db() const { return *db_; }
+  const CostModel& cost_model() const { return *cost_model_; }
+  LoadBalancingPolicy& policy() { return *policy_; }
+  MetricsCollector& metrics() { return metrics_; }
+  ProcessingElement& pe(PeId id) { return *pes_[id]; }
+  int num_pes() const { return config_.num_pes; }
+
+  /// Precomputed planning inputs for the configured join class.
+  const JoinPlanRequest& plan_request() const { return plan_request_; }
+
+  /// RNG stream used for workload decisions (placement, keys).
+  sim::Rng& workload_rng() { return workload_rng_; }
+
+  /// Fresh relation-id namespace for a join's temporary partitions.
+  int32_t NextTempRelationId() { return next_temp_rel_id_--; }
+  TxnId NextTxnId() { return next_txn_id_++; }
+
+  // --- measurement protocol -------------------------------------------------
+
+  /// Replaces the open Poisson sources with a fixed arrival trace (paper
+  /// Section 4: trace-driven workloads [18]).  The trace is replayed from
+  /// t = 0; per-class query parameters still come from the SystemConfig,
+  /// while the `enabled`/arrival-rate fields are ignored.  Call before
+  /// Run().
+  void SetTrace(Trace trace) { trace_ = std::move(trace); }
+
+  /// Runs the full experiment (warm-up, measurement, drain) and returns the
+  /// collected metrics.  Call once per Cluster instance.
+  MetricsReport Run();
+
+ private:
+  void SpawnBackground();
+  void SpawnOpenWorkload();
+  sim::Task<> ControlReportLoop();
+  void ReportAllPes(SimTime window_ms);
+  void ResetStatistics();
+  MetricsReport Collect(SimTime measure_start, SimTime measure_end) const;
+
+  SystemConfig config_;
+  sim::Scheduler sched_;
+  /// Shared Disk mode only: the global spindle pool and its (unused) CPU.
+  std::unique_ptr<sim::Resource> storage_cpu_;
+  std::unique_ptr<DiskArray> shared_disks_;
+  std::vector<std::unique_ptr<ProcessingElement>> pes_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ControlNode> control_;
+  std::unique_ptr<CostModel> cost_model_;
+  std::unique_ptr<LoadBalancingPolicy> policy_;
+  std::unique_ptr<DeadlockDetector> deadlock_detector_;
+  MetricsCollector metrics_;
+  JoinPlanRequest plan_request_;
+
+  sim::Rng root_rng_;
+  sim::Rng workload_rng_;
+  sim::Rng arrival_rng_;
+
+  int32_t next_temp_rel_id_ = kTempRelationBase;
+  TxnId next_txn_id_ = 1;
+  bool ran_ = false;
+  std::optional<Trace> trace_;
+};
+
+}  // namespace pdblb
+
+#endif  // PDBLB_ENGINE_CLUSTER_H_

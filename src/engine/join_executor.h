@@ -1,0 +1,24 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Parallel hash-join query execution (paper Sections 2 and 4): a coordinator
+// admits the query, asks the load-balancing policy for the degree of join
+// parallelism and the join processors, starts the subqueries, drives the
+// building phase (parallel scan of A, dynamic redistribution, PPHJ build),
+// the probing phase (parallel scan of B, redistribution, probe), merges the
+// results and runs the read-only-optimized distributed commit.
+
+#ifndef PDBLB_ENGINE_JOIN_EXECUTOR_H_
+#define PDBLB_ENGINE_JOIN_EXECUTOR_H_
+
+#include "engine/cluster.h"
+#include "simkern/task.h"
+
+namespace pdblb {
+
+/// Executes one join query end to end; records metrics on completion.
+/// Spawn via Scheduler::Spawn (open workload) or await (single-user mode).
+sim::Task<> ExecuteJoinQuery(Cluster& cluster);
+
+}  // namespace pdblb
+
+#endif  // PDBLB_ENGINE_JOIN_EXECUTOR_H_

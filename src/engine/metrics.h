@@ -1,0 +1,150 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Measurement infrastructure: everything the paper's figures plot.
+// Response times and counters are recorded only after the warm-up phase.
+
+#ifndef PDBLB_ENGINE_METRICS_H_
+#define PDBLB_ENGINE_METRICS_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "simkern/stats.h"
+
+namespace pdblb {
+
+/// Collected during a run.
+class MetricsCollector {
+ public:
+  void SetWarmupEnd(SimTime t) { warmup_end_ = t; }
+  SimTime warmup_end() const { return warmup_end_; }
+  bool Measuring(SimTime now) const { return now >= warmup_end_; }
+
+  void RecordJoin(SimTime response_ms, int degree, int64_t temp_written,
+                  int64_t temp_read, SimTime now) {
+    if (!Measuring(now)) return;
+    join_rt_.Add(response_ms);
+    degree_.Add(degree);
+    temp_pages_written_ += temp_written;
+    temp_pages_read_ += temp_read;
+  }
+
+  void RecordOltp(SimTime response_ms, int aborts, SimTime now) {
+    if (!Measuring(now)) return;
+    oltp_rt_.Add(response_ms);
+    oltp_aborts_ += aborts;
+  }
+
+  void RecordScan(SimTime response_ms, SimTime now) {
+    if (!Measuring(now)) return;
+    scan_rt_.Add(response_ms);
+  }
+
+  void RecordUpdate(SimTime response_ms, int aborts, SimTime now) {
+    if (!Measuring(now)) return;
+    update_rt_.Add(response_ms);
+    update_aborts_ += aborts;
+  }
+
+  void RecordMultiwayJoin(SimTime response_ms, int stages, SimTime now) {
+    if (!Measuring(now)) return;
+    multiway_rt_.Add(response_ms);
+    multiway_stages_.Add(stages);
+  }
+
+  /// Periodic per-PE utilization samples (from the control-report loop).
+  void SampleUtilization(double cpu, double disk, double memory, SimTime now) {
+    if (!Measuring(now)) return;
+    cpu_util_.Add(cpu);
+    disk_util_.Add(disk);
+    mem_util_.Add(memory);
+  }
+
+  void RecordMemoryQueueWait(SimTime wait_ms, SimTime now) {
+    if (!Measuring(now)) return;
+    memory_queue_wait_.Add(wait_ms);
+  }
+
+  const sim::SampleStat& join_rt() const { return join_rt_; }
+  const sim::SampleStat& oltp_rt() const { return oltp_rt_; }
+  const sim::SampleStat& scan_rt() const { return scan_rt_; }
+  const sim::SampleStat& update_rt() const { return update_rt_; }
+  const sim::SampleStat& multiway_rt() const { return multiway_rt_; }
+  const sim::SampleStat& multiway_stages() const { return multiway_stages_; }
+  int64_t update_aborts() const { return update_aborts_; }
+  const sim::SampleStat& degree() const { return degree_; }
+  const sim::SampleStat& cpu_util() const { return cpu_util_; }
+  const sim::SampleStat& disk_util() const { return disk_util_; }
+  const sim::SampleStat& mem_util() const { return mem_util_; }
+  const sim::SampleStat& memory_queue_wait() const {
+    return memory_queue_wait_;
+  }
+  int64_t temp_pages_written() const { return temp_pages_written_; }
+  int64_t temp_pages_read() const { return temp_pages_read_; }
+  int64_t oltp_aborts() const { return oltp_aborts_; }
+
+ private:
+  SimTime warmup_end_ = 0.0;
+  sim::SampleStat join_rt_;
+  sim::SampleStat oltp_rt_;
+  sim::SampleStat scan_rt_;
+  sim::SampleStat update_rt_;
+  sim::SampleStat multiway_rt_;
+  sim::SampleStat multiway_stages_;
+  int64_t update_aborts_ = 0;
+  sim::SampleStat degree_;
+  sim::SampleStat cpu_util_;
+  sim::SampleStat disk_util_;
+  sim::SampleStat mem_util_;
+  sim::SampleStat memory_queue_wait_;
+  int64_t temp_pages_written_ = 0;
+  int64_t temp_pages_read_ = 0;
+  int64_t oltp_aborts_ = 0;
+};
+
+/// Flat result record of one simulation run (what benches print).
+struct MetricsReport {
+  // Join query class.
+  double join_rt_ms = 0.0;
+  double join_rt_max_ms = 0.0;
+  int64_t joins_completed = 0;
+  double join_throughput_qps = 0.0;
+  double avg_degree = 0.0;
+  double temp_pages_written_per_join = 0.0;
+  double temp_pages_read_per_join = 0.0;
+
+  // OLTP class.
+  double oltp_rt_ms = 0.0;
+  int64_t oltp_completed = 0;
+  double oltp_throughput_tps = 0.0;
+  int64_t oltp_aborts = 0;
+
+  // Standalone scan query class.
+  double scan_rt_ms = 0.0;
+  int64_t scans_completed = 0;
+
+  // Update statement class.
+  double update_rt_ms = 0.0;
+  int64_t updates_completed = 0;
+  int64_t update_aborts = 0;
+
+  // Multi-way join class.
+  double multiway_rt_ms = 0.0;
+  int64_t multiway_completed = 0;
+
+  // Resources (averages of periodic per-PE samples during measurement).
+  double cpu_utilization = 0.0;
+  double disk_utilization = 0.0;
+  double memory_utilization = 0.0;
+  double avg_memory_queue_wait_ms = 0.0;
+
+  // Concurrency control (aggregated over all PEs during measurement).
+  int64_t lock_waits = 0;
+  int64_t deadlock_aborts = 0;
+
+  double measurement_seconds = 0.0;
+};
+
+}  // namespace pdblb
+
+#endif  // PDBLB_ENGINE_METRICS_H_

@@ -1,0 +1,239 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "engine/multiway_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/skew.h"
+#include "engine/parop.h"
+#include "join/local_join.h"
+#include "simkern/task_group.h"
+
+namespace pdblb {
+namespace {
+
+using parop::BatchChannel;
+using parop::CommitRound;
+using parop::DeliverControl;
+using parop::Redistribute;
+using parop::ScanRedistribute;
+using parop::SplitEvenly;
+using parop::UseCpu;
+
+sim::Task<> BuildConsumer(LocalJoin* join, BatchChannel* channel) {
+  while (auto batch = co_await channel->Receive()) {
+    co_await join->InsertInnerBatch(batch->tuples);
+  }
+}
+
+/// Probing consumer for one stage.  Intermediate stages keep their result at
+/// the join processor (it becomes the next stage's inner source); the final
+/// stage ships it to the coordinator.
+sim::Task<> ProbeConsumer(Cluster& c, LocalJoin* join, BatchChannel* channel,
+                          PeId join_pe, PeId coord, int64_t result_tuples,
+                          int tuple_size, bool final_stage) {
+  while (auto batch = co_await channel->Receive()) {
+    co_await join->ProbeBatch(batch->tuples);
+  }
+  co_await join->CompleteProbe();
+  co_await UseCpu(c, join_pe,
+                  result_tuples * c.config().costs.write_output_tuple);
+  if (final_stage && join_pe != coord && result_tuples > 0) {
+    co_await c.net().Transfer(join_pe, coord, result_tuples * tuple_size);
+  }
+  join->Release();
+}
+
+}  // namespace
+
+sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c) {
+  sim::Scheduler& sched = c.sched();
+  const SystemConfig& cfg = c.config();
+  const CpuCosts& costs = cfg.costs;
+  const SimTime t0 = sched.Now();
+  const int stages = cfg.multiway_join.ways - 1;
+  const int tuple_size = cfg.relation_a.tuple_size_bytes;
+
+  const PeId coord =
+      static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1));
+  co_await c.pe(coord).admission().Acquire();
+  co_await UseCpu(c, coord, costs.initiate_txn);
+
+  // Intermediate-result location: empty before stage 1 (inner comes from
+  // the scan of A).
+  std::vector<PeId> result_pes;
+  std::vector<int64_t> result_at;
+  int64_t inner_total = cfg.InnerInputTuples();
+  std::set<PeId> all_participants;
+
+  for (int stage = 1; stage <= stages; ++stage) {
+    const bool first = stage == 1;
+    const bool final_stage = stage == stages;
+
+    // Outer input: relation B for stage 1, relation C afterwards.
+    const Relation& outer_rel = first ? c.db().b() : c.db().c();
+    const std::vector<PeId>& outer_nodes =
+        first ? c.db().b_nodes() : c.db().all_nodes();
+    const int64_t outer_total = static_cast<int64_t>(
+        cfg.join_query.scan_selectivity *
+        static_cast<double>(outer_rel.num_tuples()));
+    const int64_t result_total = static_cast<int64_t>(
+        cfg.join_query.result_size_factor * static_cast<double>(inner_total));
+
+    // Consult the control node and plan this stage.
+    co_await c.net().ControlMessage(coord, 0);
+    co_await c.net().ControlMessage(0, coord);
+    JoinPlanRequest req = c.plan_request();
+    if (!first) {
+      const int bf = cfg.relation_a.blocking_factor;
+      int64_t inner_pages = (inner_total + bf - 1) / bf;
+      req.hash_table_pages = static_cast<int64_t>(std::ceil(
+          cfg.join_query.fudge_factor * static_cast<double>(inner_pages)));
+      req.psu_noio = static_cast<int>(std::clamp<int64_t>(
+          (req.hash_table_pages + cfg.buffer.buffer_pages - 1) /
+              cfg.buffer.buffer_pages,
+          1, cfg.num_pes));
+    }
+    JoinPlan plan = c.policy().Plan(req, c.control(), c.workload_rng());
+    const int p = plan.degree;
+
+    // This stage's participants: inner sources, outer scan nodes, join PEs.
+    std::set<PeId> participants(outer_nodes.begin(), outer_nodes.end());
+    if (first) {
+      participants.insert(c.db().a_nodes().begin(), c.db().a_nodes().end());
+    } else {
+      participants.insert(result_pes.begin(), result_pes.end());
+    }
+    participants.insert(plan.pes.begin(), plan.pes.end());
+    {
+      sim::TaskGroup startup(sched);
+      for (PeId dest : participants) {
+        if (dest == coord) continue;
+        co_await UseCpu(c, coord, costs.send_message + costs.copy_message);
+        startup.Spawn(DeliverControl(c, dest));
+      }
+      co_await startup.Wait();
+    }
+    all_participants.insert(participants.begin(), participants.end());
+
+    // Local joins for this stage (uniform partitioning).
+    std::vector<double> dest_frac = ZipfWeights(p, 0.0);
+    std::vector<int64_t> inner_share = SplitWeighted(inner_total, dest_frac);
+    std::vector<int64_t> outer_share = SplitWeighted(outer_total, dest_frac);
+    std::vector<int64_t> result_share = SplitWeighted(result_total, dest_frac);
+    std::vector<std::unique_ptr<LocalJoin>> joins;
+    joins.reserve(p);
+    for (int j = 0; j < p; ++j) {
+      LocalJoinParams params;
+      params.temp_relation_id = c.NextTempRelationId();
+      params.expected_inner_tuples = inner_share[j];
+      params.expected_outer_tuples = outer_share[j];
+      params.blocking_factor = cfg.relation_a.blocking_factor;
+      params.fudge_factor = cfg.join_query.fudge_factor;
+      params.want_pages = plan.pages_per_pe;
+      params.write_batch_pages = cfg.disk.prefetch_pages;
+      params.opportunistic_growth = cfg.pphj_opportunistic_growth;
+      PeId jp = plan.pes[j];
+      joins.push_back(CreateLocalJoin(cfg.local_join_method, sched,
+                                      c.pe(jp).buffer(), c.pe(jp).disks(),
+                                      c.pe(jp).cpu(), costs, cfg.mips_per_pe,
+                                      params));
+    }
+    {
+      std::vector<int> order(p);
+      for (int j = 0; j < p; ++j) order[j] = j;
+      std::sort(order.begin(), order.end(),
+                [&](int a, int b) { return plan.pes[a] < plan.pes[b]; });
+      SimTime queued_at = sched.Now();
+      for (int j : order) co_await joins[j]->AcquireMemory();
+      c.metrics().RecordMemoryQueueWait(sched.Now() - queued_at, sched.Now());
+    }
+
+    // Building phase: inner from the A scan (stage 1) or from the previous
+    // stage's result processors.
+    {
+      std::vector<std::unique_ptr<BatchChannel>> channels;
+      for (int j = 0; j < p; ++j) {
+        channels.push_back(std::make_unique<BatchChannel>(sched));
+      }
+      sim::TaskGroup consumers(sched);
+      for (int j = 0; j < p; ++j) {
+        consumers.Spawn(BuildConsumer(joins[j].get(), channels[j].get()));
+      }
+      sim::TaskGroup sources(sched);
+      sim::TaskGroup sends(sched);
+      if (first) {
+        const std::vector<PeId>& a_nodes = c.db().a_nodes();
+        std::vector<int64_t> node_share =
+            SplitEvenly(inner_total, static_cast<int>(a_nodes.size()));
+        for (size_t i = 0; i < a_nodes.size(); ++i) {
+          sources.Spawn(ScanRedistribute(c, a_nodes[i], c.db().a(),
+                                         node_share[i], plan.pes, dest_frac,
+                                         channels, sends));
+        }
+      } else {
+        for (size_t i = 0; i < result_pes.size(); ++i) {
+          sources.Spawn(Redistribute(c, result_pes[i], result_at[i],
+                                     tuple_size, plan.pes, dest_frac,
+                                     channels, sends));
+        }
+      }
+      co_await sources.Wait();
+      co_await sends.Wait();
+      for (auto& ch : channels) ch->Close();
+      co_await consumers.Wait();
+    }
+
+    // Probing phase: outer scanned from B (stage 1) or C.
+    {
+      std::vector<std::unique_ptr<BatchChannel>> channels;
+      for (int j = 0; j < p; ++j) {
+        channels.push_back(std::make_unique<BatchChannel>(sched));
+      }
+      sim::TaskGroup consumers(sched);
+      for (int j = 0; j < p; ++j) {
+        consumers.Spawn(ProbeConsumer(c, joins[j].get(), channels[j].get(),
+                                      plan.pes[j], coord, result_share[j],
+                                      tuple_size, final_stage));
+      }
+      sim::TaskGroup scans(sched);
+      sim::TaskGroup sends(sched);
+      std::vector<int64_t> node_share =
+          SplitEvenly(outer_total, static_cast<int>(outer_nodes.size()));
+      for (size_t i = 0; i < outer_nodes.size(); ++i) {
+        scans.Spawn(ScanRedistribute(c, outer_nodes[i], outer_rel,
+                                     node_share[i], plan.pes, dest_frac,
+                                     channels, sends));
+      }
+      co_await scans.Wait();
+      co_await sends.Wait();
+      for (auto& ch : channels) ch->Close();
+      co_await consumers.Wait();
+    }
+
+    // The result becomes the next stage's inner.
+    result_pes = plan.pes;
+    result_at = result_share;
+    inner_total = result_total;
+  }
+
+  // Read-only optimized commit across everything that participated.
+  {
+    sim::TaskGroup commits(sched);
+    for (PeId dest : all_participants) {
+      if (dest == coord) continue;
+      co_await UseCpu(c, coord, costs.send_message + costs.copy_message);
+      commits.Spawn(CommitRound(c, coord, dest));
+    }
+    co_await commits.Wait();
+  }
+  co_await UseCpu(c, coord, costs.terminate_txn);
+  c.pe(coord).admission().Release();
+  c.metrics().RecordMultiwayJoin(sched.Now() - t0, stages, sched.Now());
+}
+
+}  // namespace pdblb

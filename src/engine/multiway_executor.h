@@ -1,0 +1,29 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Multi-way join queries (paper Section 4 lists them among the supported
+// query types): a left-deep pipeline of parallel hash joins
+//
+//   (A ⋈ B) ⋈ C [⋈ C ...]
+//
+// Stage 1 is the paper's two-way join (scan A, redistribute, build; scan B,
+// redistribute, probe).  Each further stage redistributes the previous
+// stage's result — materialized at its join processors — as the *inner* of
+// the next join, while relation C is scanned and redistributed as the
+// outer.  Every stage consults the load-balancing policy again, so the
+// degree and the placement adapt per stage to the system state the previous
+// stage created.
+
+#ifndef PDBLB_ENGINE_MULTIWAY_EXECUTOR_H_
+#define PDBLB_ENGINE_MULTIWAY_EXECUTOR_H_
+
+#include "engine/cluster.h"
+#include "simkern/task.h"
+
+namespace pdblb {
+
+/// Executes one multi-way join (config: SystemConfig::multiway_join).
+sim::Task<> ExecuteMultiwayJoinQuery(Cluster& cluster);
+
+}  // namespace pdblb
+
+#endif  // PDBLB_ENGINE_MULTIWAY_EXECUTOR_H_

@@ -1,0 +1,22 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Debit-credit-style OLTP transaction execution (paper Section 5.1/5.3):
+// four non-clustered index selects with updates on an OLTP-private relation,
+// affinity-routed so that processing is local to the home node.  Uses strict
+// 2PL tuple locks, no-force buffering with a commit log write, and restarts
+// on deadlock aborts.
+
+#ifndef PDBLB_ENGINE_OLTP_EXECUTOR_H_
+#define PDBLB_ENGINE_OLTP_EXECUTOR_H_
+
+#include "engine/cluster.h"
+#include "simkern/task.h"
+
+namespace pdblb {
+
+/// Executes one OLTP transaction at its home node; records metrics.
+sim::Task<> ExecuteOltpTransaction(Cluster& cluster, PeId home);
+
+}  // namespace pdblb
+
+#endif  // PDBLB_ENGINE_OLTP_EXECUTOR_H_

@@ -1,0 +1,160 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "iosim/disk.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdblb {
+
+DiskArray::DiskArray(sim::Scheduler& sched, const DiskConfig& config,
+                     const CpuCosts& costs, double mips, sim::Resource& cpu,
+                     std::string name)
+    : sched_(sched), config_(config), costs_(costs), mips_(mips), cpu_(cpu),
+      name_(std::move(name)) {
+  for (int i = 0; i < config_.disks_per_pe; ++i) {
+    disks_.push_back(std::make_shared<sim::Resource>(
+        sched_, 1, name_ + ".disk" + std::to_string(i)));
+  }
+  controller_ = std::make_unique<sim::Resource>(sched_, 1, name_ + ".ctrl");
+  log_disk_ = std::make_unique<sim::Resource>(sched_, 1, name_ + ".log");
+}
+
+DiskArray::DiskArray(sim::Scheduler& sched, const DiskConfig& config,
+                     const CpuCosts& costs, double mips, sim::Resource& cpu,
+                     std::string name, DiskArray& master)
+    : sched_(sched), config_(config), costs_(costs), mips_(mips), cpu_(cpu),
+      name_(std::move(name)), disks_(master.disks_) {
+  controller_ = std::make_unique<sim::Resource>(sched_, 1, name_ + ".ctrl");
+  log_disk_ = std::make_unique<sim::Resource>(sched_, 1, name_ + ".log");
+}
+
+sim::Resource& DiskArray::DiskFor(PageKey page) {
+  size_t h = PageKeyHash{}(page);
+  return *disks_[h % disks_.size()];
+}
+
+bool DiskArray::CacheContains(PageKey page) const {
+  return cache_map_.find(page) != cache_map_.end();
+}
+
+void DiskArray::CacheInsert(PageKey page) {
+  if (config_.disk_cache_pages <= 0) return;
+  auto it = cache_map_.find(page);
+  if (it != cache_map_.end()) {
+    cache_lru_.erase(it->second);
+    cache_map_.erase(it);
+  }
+  cache_lru_.push_front(page);
+  cache_map_[page] = cache_lru_.begin();
+  while (static_cast<int>(cache_lru_.size()) > config_.disk_cache_pages) {
+    cache_map_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
+}
+
+sim::Task<> DiskArray::Read(PageKey page, AccessPattern pattern) {
+  ++logical_reads_;
+  co_await cpu_.Use(InstructionsToMs(costs_.io_overhead, mips_));
+
+  if (CacheContains(page)) {
+    ++cache_hits_;
+    CacheInsert(page);  // refresh LRU position
+    co_await controller_->Use(config_.controller_time_per_page_ms);
+    co_await sched_.Delay(config_.transmission_time_per_page_ms);
+    co_return;
+  }
+
+  int fetch = pattern == AccessPattern::kSequential ? config_.prefetch_pages : 1;
+  ++physical_reads_;
+  co_await DiskFor(page).Use(config_.avg_access_time_ms +
+                             config_.prefetch_delay_per_page_ms * fetch);
+  co_await controller_->Use(config_.controller_time_per_page_ms * fetch);
+  for (int i = 0; i < fetch; ++i) {
+    CacheInsert(PageKey{page.relation_id, page.page_no + i});
+  }
+  co_await sched_.Delay(config_.transmission_time_per_page_ms);
+}
+
+sim::Task<> DiskArray::ReadStriped(PageKey first, int64_t count) {
+  if (count <= 0) co_return;
+  // One CPU I/O-overhead charge per prefetch batch, paid by the issuer.
+  sim::TaskGroup batches(sched_);
+  int64_t i = 0;
+  while (i < count) {
+    // Skip cached pages (controller service only).
+    PageKey page{first.relation_id, first.page_no + i};
+    if (CacheContains(page)) {
+      ++cache_hits_;
+      ++logical_reads_;
+      CacheInsert(page);
+      batches.Spawn(controller_->Use(config_.controller_time_per_page_ms));
+      ++i;
+      continue;
+    }
+    int fetch = static_cast<int>(
+        std::min<int64_t>(config_.prefetch_pages, count - i));
+    logical_reads_ += fetch;
+    ++physical_reads_;
+    batches.Spawn(ReadBatchFromDisk(page, fetch));
+    for (int k = 0; k < fetch; ++k) {
+      CacheInsert(PageKey{page.relation_id, page.page_no + k});
+    }
+    i += fetch;
+  }
+  co_await batches.Wait();
+  co_await sched_.Delay(config_.transmission_time_per_page_ms);
+}
+
+sim::Task<> DiskArray::ReadBatchFromDisk(PageKey first, int pages) {
+  co_await cpu_.Use(InstructionsToMs(costs_.io_overhead, mips_));
+  co_await DiskFor(first).Use(config_.avg_access_time_ms +
+                              config_.prefetch_delay_per_page_ms * pages);
+  co_await controller_->Use(config_.controller_time_per_page_ms * pages);
+}
+
+sim::Task<> DiskArray::WriteBatch(PageKey first, int count) {
+  assert(count >= 1);
+  co_await cpu_.Use(InstructionsToMs(costs_.io_overhead, mips_));
+  ++physical_writes_;
+  co_await sched_.Delay(config_.transmission_time_per_page_ms * count);
+  co_await controller_->Use(config_.controller_time_per_page_ms * count);
+  co_await DiskFor(first).Use(config_.avg_access_time_ms +
+                              config_.prefetch_delay_per_page_ms * count);
+  for (int i = 0; i < count; ++i) {
+    CacheInsert(PageKey{first.relation_id, first.page_no + i});
+  }
+}
+
+sim::Task<> DiskArray::WriteRandom(PageKey page) {
+  return WriteBatch(page, 1);
+}
+
+sim::Task<> DiskArray::LogWrite() {
+  co_await cpu_.Use(InstructionsToMs(costs_.io_overhead, mips_));
+  co_await log_disk_->Use(config_.log_write_ms);
+}
+
+double DiskArray::DataDiskUtilization() const {
+  double sum = 0.0;
+  for (const auto& d : disks_) sum += d->Utilization();
+  return sum / static_cast<double>(disks_.size());
+}
+
+double DiskArray::DataDiskBusyIntegral() const {
+  double sum = 0.0;
+  for (const auto& d : disks_) sum += d->BusyIntegral();
+  return sum;
+}
+
+void DiskArray::ResetStats() {
+  for (auto& d : disks_) d->ResetStats();
+  controller_->ResetStats();
+  log_disk_->ResetStats();
+  physical_reads_ = 0;
+  physical_writes_ = 0;
+  cache_hits_ = 0;
+  logical_reads_ = 0;
+}
+
+}  // namespace pdblb

@@ -1,0 +1,123 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Disk subsystem of one PE (paper Section 4): an array of FCFS disk servers
+// behind a controller with an LRU disk cache and a prefetching mechanism for
+// sequential access patterns, plus a dedicated log disk.
+//
+// Timing model (paper parameter table):
+//  * physical access: 15 ms base + 1 ms per (pre)fetched page
+//  * controller service: 1 ms per page
+//  * transmission: 0.4 ms per page
+//  * a sequential cache miss prefetches `prefetch_pages` pages into the
+//    controller cache, so 4-page prefetch costs 19 ms of disk time and later
+//    references to the prefetched pages cost only controller + transmission.
+// The CPU overhead per I/O operation (3000 instructions) is charged on the
+// owning PE's CPU.
+
+#ifndef PDBLB_IOSIM_DISK_H_
+#define PDBLB_IOSIM_DISK_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/relation.h"
+#include "common/config.h"
+#include "simkern/resource.h"
+#include "simkern/scheduler.h"
+#include "simkern/task.h"
+#include "simkern/task_group.h"
+
+namespace pdblb {
+
+enum class AccessPattern {
+  kRandom,      ///< Point access (OLTP index/data reads): no prefetch.
+  kSequential,  ///< Scan / temp-file access: prefetching enabled.
+};
+
+/// The disk array of a single processing element — or, in Shared Disk mode,
+/// one PE's *view* of the globally shared spindles (see the facade
+/// constructor below).
+class DiskArray {
+ public:
+  DiskArray(sim::Scheduler& sched, const DiskConfig& config,
+            const CpuCosts& costs, double mips, sim::Resource& cpu,
+            std::string name);
+
+  /// Shared Disk facade: this array serves I/O from the *same spindles* as
+  /// `master` (the global pool of the storage subsystem), while the per-I/O
+  /// CPU overhead, the controller with its disk cache, and the log disk
+  /// stay local to this PE (its storage adapter).  All facades observe and
+  /// generate contention on the shared spindles.
+  DiskArray(sim::Scheduler& sched, const DiskConfig& config,
+            const CpuCosts& costs, double mips, sim::Resource& cpu,
+            std::string name, DiskArray& master);
+
+  /// Reads one page.  Sequential reads prefetch into the controller cache.
+  sim::Task<> Read(PageKey page, AccessPattern pattern);
+
+  /// Reads `count` consecutive pages of a declustered partition: prefetch
+  /// batches are issued concurrently across the disk array (the paper's
+  /// horizontal declustering over disks), so a long sequential scan is
+  /// limited by the array, not a single spindle.  Cached pages are served
+  /// from the controller cache.
+  sim::Task<> ReadStriped(PageKey first, int64_t count);
+
+  /// Writes `count` consecutive pages starting at `first` as one batch
+  /// (sequential temp-file write).  Written pages enter the cache.
+  sim::Task<> WriteBatch(PageKey first, int count);
+
+  /// Writes one page at a random position (buffer-manager page cleaning).
+  sim::Task<> WriteRandom(PageKey page);
+
+  /// Appends one record batch to the local log (OLTP commit).
+  sim::Task<> LogWrite();
+
+  // --- introspection ------------------------------------------------------
+  int num_disks() const { return static_cast<int>(disks_.size()); }
+  /// Mean utilization of the data disks since the last ResetStats.
+  double DataDiskUtilization() const;
+  /// Busy-time integral summed over data disks (for windowed utilization).
+  double DataDiskBusyIntegral() const;
+
+  int64_t physical_reads() const { return physical_reads_; }
+  int64_t physical_writes() const { return physical_writes_; }
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t logical_reads() const { return logical_reads_; }
+
+  void ResetStats();
+
+ private:
+  sim::Resource& DiskFor(PageKey page);
+  bool CacheContains(PageKey page) const;
+  void CacheInsert(PageKey page);
+  /// One prefetch batch: disk access plus controller service.
+  sim::Task<> ReadBatchFromDisk(PageKey first, int pages);
+
+  sim::Scheduler& sched_;
+  DiskConfig config_;
+  CpuCosts costs_;
+  double mips_;
+  sim::Resource& cpu_;
+  std::string name_;
+
+  std::vector<std::shared_ptr<sim::Resource>> disks_;  // shared in SD mode
+  std::unique_ptr<sim::Resource> controller_;
+  std::unique_ptr<sim::Resource> log_disk_;
+
+  // LRU disk cache: most recent at the front.
+  std::list<PageKey> cache_lru_;
+  std::unordered_map<PageKey, std::list<PageKey>::iterator, PageKeyHash>
+      cache_map_;
+
+  int64_t physical_reads_ = 0;
+  int64_t physical_writes_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t logical_reads_ = 0;
+};
+
+}  // namespace pdblb
+
+#endif  // PDBLB_IOSIM_DISK_H_

@@ -1,0 +1,79 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// LocalJoin: the interface every local join method implements at one join
+// processor.  The parallel join executor drives it through the same protocol
+// regardless of the algorithm:
+//
+//   AcquireMemory();                 // FCFS memory queue
+//   InsertInnerBatch(tuples)...      // building phase (inner input arrives)
+//   ProbeBatch(tuples)...            // probing phase (outer input arrives)
+//   CompleteProbe();                 // deferred work (spilled partitions/runs)
+//   Release();                       // return the working space
+//
+// Implementations: Pphj (the paper's memory-adaptive hash join, join/pphj.h)
+// and SortMergeJoin (the non-adaptive baseline used by the predecessor study
+// [26], join/sort_merge.h).
+
+#ifndef PDBLB_JOIN_LOCAL_JOIN_H_
+#define PDBLB_JOIN_LOCAL_JOIN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "bufmgr/buffer_manager.h"
+#include "common/config.h"
+#include "iosim/disk.h"
+#include "simkern/resource.h"
+#include "simkern/scheduler.h"
+#include "simkern/task.h"
+
+namespace pdblb {
+
+/// One local join = one join processor's share of one parallel join query.
+class LocalJoin {
+ public:
+  virtual ~LocalJoin() = default;
+
+  /// Waits in the buffer manager's FCFS memory queue until the method's
+  /// minimum working space is granted.
+  virtual sim::Task<> AcquireMemory() = 0;
+
+  /// Consumes a batch of redistributed inner tuples.
+  virtual sim::Task<> InsertInnerBatch(int64_t tuples) = 0;
+
+  /// Consumes a batch of redistributed outer tuples.
+  virtual sim::Task<> ProbeBatch(int64_t tuples) = 0;
+
+  /// Finishes deferred work once the outer input is exhausted (disk-resident
+  /// partitions for PPHJ, run merging for sort-merge).
+  virtual sim::Task<> CompleteProbe() = 0;
+
+  /// Returns the working space.  Idempotent.
+  virtual void Release() = 0;
+
+  // --- accounting (figure metrics) -----------------------------------------
+  virtual int64_t temp_pages_written() const = 0;
+  virtual int64_t temp_pages_read() const = 0;
+};
+
+/// Method-independent construction parameters.
+struct LocalJoinParams {
+  int32_t temp_relation_id = -1;    ///< Namespace for temp-file pages.
+  int64_t expected_inner_tuples = 0;  ///< This PE's share of the inner input.
+  int64_t expected_outer_tuples = 0;  ///< This PE's share of the outer input.
+  int blocking_factor = 20;         ///< Tuples per page.
+  double fudge_factor = 1.05;       ///< Hash-table overhead F (PPHJ).
+  int want_pages = 0;               ///< Planner's working-space target.
+  int write_batch_pages = 4;        ///< Temp-file write batching.
+  bool opportunistic_growth = true;  ///< PPHJ TryGrow (ablation knob).
+};
+
+/// Factory over SystemConfig::local_join_method.
+std::unique_ptr<LocalJoin> CreateLocalJoin(
+    LocalJoinMethod method, sim::Scheduler& sched, BufferManager& buffer,
+    DiskArray& disks, sim::Resource& cpu, const CpuCosts& costs, double mips,
+    const LocalJoinParams& params);
+
+}  // namespace pdblb
+
+#endif  // PDBLB_JOIN_LOCAL_JOIN_H_

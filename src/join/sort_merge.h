@@ -1,0 +1,91 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// SortMergeJoin: the non-adaptive local sort-merge join used as the baseline
+// join method in the predecessor study [26] (Rahm/Marek VLDB'93).  Included
+// here to ablate the paper's choice of the memory-adaptive PPHJ:
+//
+//  * both inputs are sorted on the join attribute by run generation (runs
+//    the size of the working space) followed by multiway merging;
+//  * the working space is a *fixed* reservation — unlike PPHJ it is not
+//    registered as a steal victim, so higher-priority OLTP transactions
+//    cannot reclaim it (the memory rigidity PPHJ was designed to fix [23]);
+//  * if both inputs fit into the working space together, everything is
+//    sorted and joined in memory without temporary I/O.
+//
+// Cost model: run generation charges read + compare*ceil(log2(run_tuples))
+// per tuple (replacement-selection-like); every merge pass charges
+// compare*ceil(log2(fan_in)) per tuple and reads + rewrites the spilled
+// pages; the final merge-join charges one comparison per tuple of either
+// input.
+
+#ifndef PDBLB_JOIN_SORT_MERGE_H_
+#define PDBLB_JOIN_SORT_MERGE_H_
+
+#include <cstdint>
+
+#include "join/local_join.h"
+
+namespace pdblb {
+
+class SortMergeJoin : public LocalJoin {
+ public:
+  SortMergeJoin(sim::Scheduler& sched, BufferManager& buffer, DiskArray& disks,
+                sim::Resource& cpu, const CpuCosts& costs, double mips,
+                LocalJoinParams params);
+  ~SortMergeJoin() override;
+
+  sim::Task<> AcquireMemory() override;
+  sim::Task<> InsertInnerBatch(int64_t tuples) override;
+  sim::Task<> ProbeBatch(int64_t tuples) override;
+  sim::Task<> CompleteProbe() override;
+  void Release() override;
+
+  // --- introspection --------------------------------------------------------
+  int min_pages() const { return min_pages_; }
+  int reserved_pages() const { return reserved_pages_; }
+  /// Sorted runs spilled to disk so far (both inputs).
+  int spilled_runs() const { return spilled_runs_; }
+  /// Merge passes executed in CompleteProbe (0 = single final merge).
+  int extra_merge_passes() const { return extra_merge_passes_; }
+  int64_t temp_pages_written() const override { return temp_pages_written_; }
+  int64_t temp_pages_read() const override { return temp_pages_read_; }
+
+ private:
+  int PagesForTuples(int64_t tuples) const;
+  /// Per-tuple CPU of run generation with the current working space.
+  int64_t RunGenInstrPerTuple() const;
+  /// Accumulates one input side; spills full runs.
+  sim::Task<> ConsumeBatch(int64_t tuples, int64_t* received,
+                           int64_t* buffered_tuples);
+  /// Writes a sorted run of `pages` pages to the temp file.
+  void SpillRun(int pages);
+
+  sim::Scheduler& sched_;
+  BufferManager& buffer_;
+  DiskArray& disks_;
+  sim::Resource& cpu_;
+  CpuCosts costs_;
+  double mips_;
+  LocalJoinParams params_;
+
+  int min_pages_ = 3;
+  int reserved_pages_ = 0;
+  bool acquired_ = false;
+  bool released_ = false;
+
+  int64_t inner_received_ = 0;
+  int64_t outer_received_ = 0;
+  int64_t inner_buffered_ = 0;  // tuples of the current in-memory inner run
+  int64_t outer_buffered_ = 0;
+  int spilled_runs_ = 0;
+  int extra_merge_passes_ = 0;
+  int64_t spilled_pages_ = 0;   // pages currently in spilled runs
+  int64_t next_temp_page_ = 0;
+
+  int64_t temp_pages_written_ = 0;
+  int64_t temp_pages_read_ = 0;
+};
+
+}  // namespace pdblb
+
+#endif  // PDBLB_JOIN_SORT_MERGE_H_

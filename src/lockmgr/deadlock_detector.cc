@@ -1,0 +1,90 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "lockmgr/deadlock_detector.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace pdblb {
+
+DeadlockDetector::DeadlockDetector(sim::Scheduler& sched,
+                                   std::vector<LockManager*> lock_managers,
+                                   SimTime check_interval_ms)
+    : sched_(sched), lock_managers_(std::move(lock_managers)),
+      check_interval_ms_(check_interval_ms) {}
+
+std::vector<TxnId> DeadlockDetector::FindCycleVictims(
+    const std::vector<WaitForEdge>& edges) {
+  // Adjacency over the (small) set of waiting transactions.
+  std::map<TxnId, std::vector<TxnId>> adj;
+  for (const auto& e : edges) adj[e.waiter].push_back(e.holder);
+
+  std::vector<TxnId> victims;
+  std::set<TxnId> removed;  // victims already chosen: break their cycles
+
+  // Iterative DFS with colors; on finding a back edge, pick the youngest
+  // (largest id) transaction on the cycle as victim, remove it, restart.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<TxnId, int> color;  // 0 white, 1 gray, 2 black
+    std::vector<TxnId> stack_path;
+
+    std::function<bool(TxnId)> dfs = [&](TxnId u) -> bool {
+      color[u] = 1;
+      stack_path.push_back(u);
+      auto it = adj.find(u);
+      if (it != adj.end()) {
+        for (TxnId v : it->second) {
+          if (removed.count(v) || removed.count(u)) continue;
+          if (color[v] == 1) {
+            // Cycle: everything from v to the top of stack_path.
+            auto pos = std::find(stack_path.begin(), stack_path.end(), v);
+            TxnId victim = *std::max_element(pos, stack_path.end());
+            victims.push_back(victim);
+            removed.insert(victim);
+            return true;  // restart detection without the victim
+          }
+          if (color[v] == 0 && dfs(v)) return true;
+        }
+      }
+      color[u] = 2;
+      stack_path.pop_back();
+      return false;
+    };
+
+    for (const auto& [txn, _] : adj) {
+      if (removed.count(txn) || color[txn] != 0) continue;
+      if (dfs(txn)) {
+        changed = true;
+        break;
+      }
+    }
+  }
+  return victims;
+}
+
+std::vector<TxnId> DeadlockDetector::DetectAndResolve() {
+  std::vector<WaitForEdge> edges;
+  for (LockManager* lm : lock_managers_) lm->CollectWaitForEdges(&edges);
+
+  std::vector<TxnId> victims = FindCycleVictims(edges);
+  for (TxnId victim : victims) {
+    for (LockManager* lm : lock_managers_) {
+      if (lm->AbortWaiter(victim)) break;  // a txn waits at one PE at a time
+    }
+  }
+  total_victims_ += static_cast<int64_t>(victims.size());
+  return victims;
+}
+
+sim::Task<> DeadlockDetector::Run() {
+  while (!sched_.ShuttingDown()) {
+    co_await sched_.Delay(check_interval_ms_);
+    DetectAndResolve();
+  }
+}
+
+}  // namespace pdblb

@@ -1,0 +1,168 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "lockmgr/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdblb {
+
+bool LockManager::CanGrant(const Entry& entry, TxnId txn, LockMode mode) {
+  bool already_holds_shared = false;
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn) {
+      if (h.mode == LockMode::kExclusive || mode == LockMode::kShared) {
+        return true;  // already strong enough (or re-requesting S)
+      }
+      already_holds_shared = true;
+      continue;
+    }
+    if (!Compatible(h.mode, mode)) return false;
+  }
+  // Upgrade S->X: only if sole holder (other holders handled above).
+  if (already_holds_shared) return true;
+  (void)already_holds_shared;
+  return true;
+}
+
+sim::Task<bool> LockManager::Lock(TxnId txn, LockKey key, LockMode mode) {
+  Entry& entry = table_[key];
+
+  // FCFS fairness: a new request must also wait behind queued waiters,
+  // unless the transaction already holds the lock (avoid self-deadlock).
+  bool holds_here = std::any_of(
+      entry.holders.begin(), entry.holders.end(),
+      [&](const Holder& h) { return h.txn == txn; });
+
+  if ((entry.waiters.empty() || holds_here) && CanGrant(entry, txn, mode)) {
+    // Grant immediately (fresh grant or upgrade).
+    bool found = false;
+    for (Holder& h : entry.holders) {
+      if (h.txn == txn) {
+        found = true;
+        if (mode == LockMode::kExclusive) h.mode = LockMode::kExclusive;
+        break;
+      }
+    }
+    if (!found) {
+      entry.holders.push_back(Holder{txn, mode});
+      held_[txn].push_back(key);
+    }
+    ++locks_granted_;
+    co_return true;
+  }
+
+  // Wait FCFS.
+  ++lock_waits_;
+  Waiter waiter{txn, mode, nullptr, false, false};
+  entry.waiters.push_back(&waiter);
+
+  struct Awaiter {
+    Waiter* w;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { w->handle = h; }
+    void await_resume() const noexcept {}
+  };
+  co_await Awaiter{&waiter};
+
+  if (waiter.aborted) {
+    ++deadlock_aborts_;
+    co_return false;
+  }
+  assert(waiter.granted);
+  co_return true;
+}
+
+void LockManager::GrantWaiters(LockKey key, Entry& entry) {
+  while (!entry.waiters.empty()) {
+    Waiter* w = entry.waiters.front();
+    if (!CanGrant(entry, w->txn, w->mode)) break;
+    entry.waiters.pop_front();
+    bool found = false;
+    for (Holder& h : entry.holders) {
+      if (h.txn == w->txn) {
+        found = true;
+        if (w->mode == LockMode::kExclusive) h.mode = LockMode::kExclusive;
+        break;
+      }
+    }
+    if (!found) {
+      entry.holders.push_back(Holder{w->txn, w->mode});
+      held_[w->txn].push_back(key);
+    }
+    ++locks_granted_;
+    w->granted = true;
+    assert(w->handle);
+    sched_.ScheduleHandle(sched_.Now(), w->handle);
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  std::vector<LockKey> keys = std::move(it->second);
+  held_.erase(it);
+  for (const LockKey& key : keys) {
+    auto entry_it = table_.find(key);
+    if (entry_it == table_.end()) continue;
+    Entry& entry = entry_it->second;
+    entry.holders.erase(
+        std::remove_if(entry.holders.begin(), entry.holders.end(),
+                       [&](const Holder& h) { return h.txn == txn; }),
+        entry.holders.end());
+    GrantWaiters(key, entry);
+    if (entry.holders.empty() && entry.waiters.empty()) {
+      table_.erase(entry_it);
+    }
+  }
+}
+
+void LockManager::CollectWaitForEdges(std::vector<WaitForEdge>* edges) const {
+  for (const auto& [key, entry] : table_) {
+    for (const Waiter* w : entry.waiters) {
+      for (const Holder& h : entry.holders) {
+        if (h.txn != w->txn && !Compatible(h.mode, w->mode)) {
+          edges->push_back(WaitForEdge{w->txn, h.txn});
+        }
+      }
+      // Waiters also wait for earlier incompatible waiters (FCFS queue),
+      // which matters for X behind S chains; keep it simple and conservative
+      // by only reporting holder edges — sufficient for cycle detection in
+      // the workloads modeled here.
+    }
+  }
+}
+
+bool LockManager::AbortWaiter(TxnId victim) {
+  bool found = false;
+  for (auto& [key, entry] : table_) {
+    for (auto it = entry.waiters.begin(); it != entry.waiters.end();) {
+      if ((*it)->txn == victim) {
+        Waiter* w = *it;
+        it = entry.waiters.erase(it);
+        w->aborted = true;
+        assert(w->handle);
+        sched_.ScheduleHandle(sched_.Now(), w->handle);
+        found = true;
+      } else {
+        ++it;
+      }
+    }
+    // Removing a blocked waiter may unblock the queue behind it.
+    GrantWaiters(key, entry);
+  }
+  return found;
+}
+
+bool LockManager::HoldsAnyLock(TxnId txn) const {
+  auto it = held_.find(txn);
+  return it != held_.end() && !it->second.empty();
+}
+
+void LockManager::ResetStats() {
+  locks_granted_ = 0;
+  lock_waits_ = 0;
+  deadlock_aborts_ = 0;
+}
+
+}  // namespace pdblb

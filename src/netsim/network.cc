@@ -1,0 +1,51 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "netsim/network.h"
+
+#include <cassert>
+
+namespace pdblb {
+
+Network::Network(sim::Scheduler& sched, const NetworkConfig& net_config,
+                 const CpuCosts& costs, double mips,
+                 std::function<sim::Resource&(PeId)> cpu_of)
+    : sched_(sched), config_(net_config), costs_(costs), mips_(mips),
+      cpu_of_(std::move(cpu_of)) {}
+
+int64_t Network::PacketsFor(int64_t bytes) const {
+  if (bytes <= 0) return 1;
+  return (bytes + config_.packet_size_bytes - 1) / config_.packet_size_bytes;
+}
+
+sim::Task<> Network::Transfer(PeId src, PeId dst, int64_t bytes) {
+  if (src == dst) co_return;  // co-located: shared-memory hand-off
+
+  int64_t packets = PacketsFor(bytes);
+  ++messages_sent_;
+  packets_sent_ += packets;
+  bytes_sent_ += bytes;
+
+  // Sender-side CPU: message setup plus one buffer copy per packet.
+  co_await cpu_of_(src).Use(InstructionsToMs(
+      costs_.send_message + costs_.copy_message * packets, mips_));
+
+  // Wire latency (store-and-forward across packets).
+  co_await sched_.Delay(config_.wire_time_per_packet_ms *
+                        static_cast<double>(packets));
+
+  // Receiver-side CPU.
+  co_await cpu_of_(dst).Use(InstructionsToMs(
+      costs_.receive_message + costs_.copy_message * packets, mips_));
+}
+
+sim::Task<> Network::ControlMessage(PeId src, PeId dst) {
+  return Transfer(src, dst, 1);
+}
+
+void Network::ResetStats() {
+  messages_sent_ = 0;
+  packets_sent_ = 0;
+  bytes_sent_ = 0;
+}
+
+}  // namespace pdblb

@@ -1,0 +1,68 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Communication network model (paper Section 4): messages are disassembled
+// into fixed-size packets; per-message and per-packet CPU overhead is charged
+// on the sending and receiving PEs, the wire adds a per-packet transmission
+// delay.  The interconnect itself is a scalable high-speed network (EDS-like)
+// and is modeled contention-free; the *CPU* cost of communication is the
+// scarce resource, which is exactly the effect the paper's load-balancing
+// trade-off hinges on.
+
+#ifndef PDBLB_NETSIM_NETWORK_H_
+#define PDBLB_NETSIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/config.h"
+#include "common/units.h"
+#include "simkern/resource.h"
+#include "simkern/scheduler.h"
+#include "simkern/task.h"
+
+namespace pdblb {
+
+/// Packetized point-to-point message transport.
+class Network {
+ public:
+  /// `cpu_of` maps a PE id to its CPU resource; the network charges the
+  /// paper's send/receive/copy instruction counts there.
+  Network(sim::Scheduler& sched, const NetworkConfig& net_config,
+          const CpuCosts& costs, double mips,
+          std::function<sim::Resource&(PeId)> cpu_of);
+
+  /// Transfers `bytes` from `src` to `dst` as one logical message:
+  ///   sender CPU:   send_message + copy_message * packets
+  ///   wire:         wire_time_per_packet * packets (pure delay)
+  ///   receiver CPU: receive_message + copy_message * packets
+  /// Completes when the receiver has processed the message.  Local transfers
+  /// (src == dst) are free: co-located operators communicate via memory.
+  sim::Task<> Transfer(PeId src, PeId dst, int64_t bytes);
+
+  /// A short control message (startup, commit votes): one packet.
+  sim::Task<> ControlMessage(PeId src, PeId dst);
+
+  /// Packets needed for `bytes` (at least 1 for a non-empty message).
+  int64_t PacketsFor(int64_t bytes) const;
+
+  // --- statistics ---------------------------------------------------------
+  int64_t messages_sent() const { return messages_sent_; }
+  int64_t packets_sent() const { return packets_sent_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+  void ResetStats();
+
+ private:
+  sim::Scheduler& sched_;
+  NetworkConfig config_;
+  CpuCosts costs_;
+  double mips_;
+  std::function<sim::Resource&(PeId)> cpu_of_;
+
+  int64_t messages_sent_ = 0;
+  int64_t packets_sent_ = 0;
+  int64_t bytes_sent_ = 0;
+};
+
+}  // namespace pdblb
+
+#endif  // PDBLB_NETSIM_NETWORK_H_

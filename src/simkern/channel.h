@@ -1,0 +1,107 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Unbounded FIFO channel for message passing between simulation processes
+// (e.g. tuples batches streaming from scan operators to join operators).
+
+#ifndef PDBLB_SIMKERN_CHANNEL_H_
+#define PDBLB_SIMKERN_CHANNEL_H_
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+
+#include "simkern/scheduler.h"
+
+namespace pdblb::sim {
+
+/// Multi-producer / multi-consumer unbounded channel.
+///
+/// `Send` never blocks.  `Receive` suspends until a value is available and
+/// returns std::nullopt once the channel is closed and drained.  Consumers
+/// waiting when a value arrives are woken through the event queue, preserving
+/// deterministic FIFO ordering.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Scheduler& sched) : sched_(sched) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues a value; wakes one waiting consumer if any.
+  void Send(T value) {
+    assert(!closed_ && "Send on closed channel");
+    values_.push_back(std::move(value));
+    WakeOne();
+  }
+
+  /// Marks the channel closed: waiting and future receivers get nullopt once
+  /// the queue drains.  Idempotent.
+  void Close() {
+    if (closed_) return;
+    closed_ = true;
+    // Wake everyone; those that find no value observe the close.
+    while (!waiters_.empty()) {
+      sched_.ScheduleHandle(sched_.Now(), waiters_.front());
+      waiters_.pop_front();
+      ++scheduled_wakeups_;
+    }
+  }
+
+  bool closed() const { return closed_; }
+  size_t size() const { return values_.size(); }
+
+  /// Awaitable returning std::optional<T>.
+  auto Receive() {
+    struct Awaiter {
+      Channel* ch;
+      bool suspended = false;
+      bool await_ready() const noexcept {
+        // A value may be claimed synchronously only if no scheduled wakeup
+        // is counting on it; otherwise a woken consumer would starve.
+        if (ch->values_.size() >
+            static_cast<size_t>(ch->scheduled_wakeups_)) {
+          return true;
+        }
+        return ch->closed_ && ch->values_.empty();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        suspended = true;
+        ch->waiters_.push_back(h);
+      }
+      std::optional<T> await_resume() {
+        if (suspended) {
+          assert(ch->scheduled_wakeups_ > 0);
+          --ch->scheduled_wakeups_;
+        }
+        if (ch->values_.empty()) {
+          assert(ch->closed_);
+          return std::nullopt;
+        }
+        T v = std::move(ch->values_.front());
+        ch->values_.pop_front();
+        return v;
+      }
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  void WakeOne() {
+    if (!waiters_.empty()) {
+      sched_.ScheduleHandle(sched_.Now(), waiters_.front());
+      waiters_.pop_front();
+      ++scheduled_wakeups_;
+    }
+  }
+
+  Scheduler& sched_;
+  std::deque<T> values_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  int scheduled_wakeups_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pdblb::sim
+
+#endif  // PDBLB_SIMKERN_CHANNEL_H_

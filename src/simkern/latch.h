@@ -1,0 +1,59 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Count-down latch for fork/join patterns inside the simulation, e.g.
+// "spawn one subquery per join processor, wait for all of them".
+
+#ifndef PDBLB_SIMKERN_LATCH_H_
+#define PDBLB_SIMKERN_LATCH_H_
+
+#include <cassert>
+#include <coroutine>
+#include <vector>
+
+#include "simkern/scheduler.h"
+
+namespace pdblb::sim {
+
+/// A one-shot latch: Wait() completes once CountDown() has been called
+/// `count` times.  Waiters are resumed through the event queue at the
+/// simulation time of the final count-down.
+class Latch {
+ public:
+  Latch(Scheduler& sched, int count) : sched_(sched), count_(count) {
+    assert(count >= 0);
+  }
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void CountDown() {
+    assert(count_ > 0);
+    if (--count_ == 0) {
+      for (auto h : waiters_) sched_.ScheduleHandle(sched_.Now(), h);
+      waiters_.clear();
+    }
+  }
+
+  bool Done() const { return count_ == 0; }
+  int remaining() const { return count_; }
+
+  auto Wait() {
+    struct Awaiter {
+      Latch* latch;
+      bool await_ready() const noexcept { return latch->count_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        latch->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Scheduler& sched_;
+  int count_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace pdblb::sim
+
+#endif  // PDBLB_SIMKERN_LATCH_H_

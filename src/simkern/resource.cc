@@ -1,0 +1,67 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "simkern/resource.h"
+
+namespace pdblb::sim {
+
+Resource::Resource(Scheduler& sched, int servers, std::string name)
+    : sched_(sched), name_(std::move(name)), servers_(servers),
+      free_(servers) {
+  assert(servers >= 1);
+  last_change_ = sched_.Now();
+  stats_start_ = sched_.Now();
+}
+
+void Resource::AccumulateBusy() {
+  SimTime now = sched_.Now();
+  busy_integral_ += static_cast<double>(busy()) * (now - last_change_);
+  last_change_ = now;
+}
+
+void Resource::Grant() {
+  assert(free_ > 0);
+  AccumulateBusy();
+  --free_;
+}
+
+void Resource::Release() {
+  AccumulateBusy();
+  ++free_;
+  assert(free_ <= servers_);
+  ++completed_;
+  if (!waiters_.empty()) {
+    // Hand the freed server directly to the next waiter (still FCFS); the
+    // waiter resumes through the event queue at the current time.
+    Grant();
+    sched_.ScheduleHandle(sched_.Now(), waiters_.front());
+    waiters_.pop_front();
+  }
+}
+
+Task<> Resource::Use(SimTime duration) {
+  co_await Acquire();
+  co_await sched_.Delay(duration);
+  Release();
+}
+
+double Resource::BusyIntegral() const {
+  // Include the busy time accrued since the last state change.
+  return busy_integral_ +
+         static_cast<double>(busy()) * (sched_.Now() - last_change_);
+}
+
+double Resource::Utilization() const {
+  double window = sched_.Now() - stats_start_;
+  if (window <= 0.0) return 0.0;
+  return (BusyIntegral() - stats_start_integral_) /
+         (static_cast<double>(servers_) * window);
+}
+
+void Resource::ResetStats() {
+  stats_start_ = sched_.Now();
+  stats_start_integral_ = BusyIntegral();
+  completed_ = 0;
+  max_queue_ = waiters_.size();
+}
+
+}  // namespace pdblb::sim

@@ -1,0 +1,103 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// FCFS multi-server resource, the workhorse of the queueing model: CPUs,
+// disks and disk controllers are all Resources.  Tracks busy-time integrals
+// for utilization reporting (the control node's periodic load snapshots) and
+// queueing statistics.
+
+#ifndef PDBLB_SIMKERN_RESOURCE_H_
+#define PDBLB_SIMKERN_RESOURCE_H_
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <string>
+
+#include "common/units.h"
+#include "simkern/scheduler.h"
+#include "simkern/task.h"
+
+namespace pdblb::sim {
+
+/// A k-server FCFS queueing station.
+///
+/// Processes either bracket their own service interval:
+///
+///   co_await res.Acquire();
+///   co_await sched.Delay(service_time);
+///   res.Release();
+///
+/// or use the convenience form `co_await res.Use(service_time)`.
+class Resource {
+ public:
+  Resource(Scheduler& sched, int servers, std::string name = "");
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// FCFS acquisition of one server.
+  auto Acquire() {
+    struct Awaiter {
+      Resource* res;
+      bool await_ready() {
+        if (res->free_ > 0) {
+          res->Grant();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        res->waiters_.push_back(h);
+        res->max_queue_ = std::max(res->max_queue_, res->waiters_.size());
+      }
+      // Woken waiters were granted a server by Release().
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Releases one server and hands it to the longest-waiting process.
+  void Release();
+
+  /// Acquire + Delay(duration) + Release.
+  Task<> Use(SimTime duration);
+
+  int servers() const { return servers_; }
+  int busy() const { return servers_ - free_; }
+  size_t queue_length() const { return waiters_.size(); }
+  size_t max_queue_length() const { return max_queue_; }
+  const std::string& name() const { return name_; }
+
+  /// Busy server-milliseconds accumulated since construction.  Utilization
+  /// over a window is (delta busy integral) / (servers * window).
+  double BusyIntegral() const;
+
+  /// Utilization since the last ResetStats (or construction).
+  double Utilization() const;
+
+  /// Total completed acquisitions since construction.
+  uint64_t completed() const { return completed_; }
+
+  /// Restarts the utilization measurement window (e.g. after warm-up).
+  void ResetStats();
+
+ private:
+  void Grant();        // free_--, update integral
+  void AccumulateBusy();  // fold busy time up to Now() into the integral
+
+  Scheduler& sched_;
+  std::string name_;
+  int servers_;
+  int free_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  size_t max_queue_ = 0;
+
+  double busy_integral_ = 0.0;
+  SimTime last_change_ = 0.0;
+  SimTime stats_start_ = 0.0;
+  double stats_start_integral_ = 0.0;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace pdblb::sim
+
+#endif  // PDBLB_SIMKERN_RESOURCE_H_

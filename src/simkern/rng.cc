@@ -1,0 +1,24 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "simkern/rng.h"
+
+#include <cassert>
+
+namespace pdblb::sim {
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  assert(k >= 0 && k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) setup, O(k) draws.
+  std::vector<int> indices(n);
+  for (int i = 0; i < n; ++i) indices[i] = i;
+  std::vector<int> out;
+  out.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    int j = static_cast<int>(UniformInt(i, n - 1));
+    std::swap(indices[i], indices[j]);
+    out.push_back(indices[i]);
+  }
+  return out;
+}
+
+}  // namespace pdblb::sim

@@ -1,0 +1,70 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Deterministic random number generation.  Every stochastic element of the
+// simulation (arrival processes, placement decisions, key values) draws from
+// an Rng forked off the experiment's root seed, so runs are exactly
+// reproducible and independent streams do not interfere.
+
+#ifndef PDBLB_SIMKERN_RNG_H_
+#define PDBLB_SIMKERN_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pdblb::sim {
+
+/// Seedable, forkable random source.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : seed_(seed), engine_(Mix(seed)) {}
+
+  /// Derives an independent stream: same (seed, stream) always yields the
+  /// same sequence.
+  Rng Fork(uint64_t stream) const {
+    return Rng(seed_ ^ Mix(stream + 0x9e3779b97f4a7c15ULL));
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (inter-arrival
+  /// times of the open queueing model's Poisson arrivals).
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Samples k distinct integers from [0, n) (join processor selection for
+  /// the RANDOM policy).  Returned in random order.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    // splitmix64 finalizer.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t seed_ = 0;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pdblb::sim
+
+#endif  // PDBLB_SIMKERN_RNG_H_

@@ -1,0 +1,67 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "simkern/scheduler.h"
+
+#include "simkern/latch.h"
+
+namespace pdblb::sim {
+
+void Scheduler::ScheduleHandle(SimTime at, std::coroutine_handle<> handle) {
+  assert(at >= now_);
+  queue_.push(Event{at, next_seq_++, handle, nullptr});
+}
+
+void Scheduler::ScheduleCallback(SimTime at, std::function<void()> fn) {
+  assert(at >= now_);
+  queue_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Scheduler::Spawn(Task<> task) {
+  auto handle = task.Detach();
+  ScheduleHandle(now_, handle);
+}
+
+void Scheduler::Dispatch(Event& event) {
+  now_ = event.at;
+  ++events_processed_;
+  if (event.handle) {
+    event.handle.resume();
+  } else if (event.callback) {
+    event.callback();
+  }
+}
+
+void Scheduler::Run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    Dispatch(event);
+  }
+}
+
+void Scheduler::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event event = queue_.top();
+    queue_.pop();
+    Dispatch(event);
+  }
+  if (now_ < until) now_ = until;
+}
+
+namespace {
+Task<> RunAndCountDown(Task<> task, Latch* latch) {
+  co_await std::move(task);
+  latch->CountDown();
+}
+}  // namespace
+
+Task<> WhenAll(Scheduler& sched, std::vector<Task<>> tasks) {
+  Latch latch(sched, static_cast<int>(tasks.size()));
+  for (auto& t : tasks) {
+    sched.Spawn(RunAndCountDown(std::move(t), &latch));
+  }
+  tasks.clear();
+  co_await latch.Wait();
+}
+
+}  // namespace pdblb::sim

@@ -1,0 +1,104 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// The discrete-event scheduler: a calendar of timestamped events, each of
+// which resumes a suspended coroutine or invokes a callback.  Events with
+// equal timestamps are processed in FIFO insertion order (stable via a
+// sequence number), which makes every simulation run fully deterministic.
+
+#ifndef PDBLB_SIMKERN_SCHEDULER_H_
+#define PDBLB_SIMKERN_SCHEDULER_H_
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+#include "simkern/task.h"
+
+namespace pdblb::sim {
+
+/// Single-threaded discrete-event scheduler.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time in milliseconds.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `handle` to be resumed at absolute time `at` (>= Now()).
+  void ScheduleHandle(SimTime at, std::coroutine_handle<> handle);
+
+  /// Schedules `fn` to run at absolute time `at` (>= Now()).
+  void ScheduleCallback(SimTime at, std::function<void()> fn);
+
+  /// Starts a detached simulation process at the current time.  The frame
+  /// self-destroys on completion.
+  void Spawn(Task<> task);
+
+  /// Awaitable that suspends the current process for `delta` milliseconds.
+  /// A zero delay still yields through the event queue (FIFO fairness).
+  auto Delay(SimTime delta) {
+    struct Awaiter {
+      Scheduler* sched;
+      SimTime at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sched->ScheduleHandle(at, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    assert(delta >= 0.0);
+    return Awaiter{this, now_ + delta};
+  }
+
+  /// Runs until the event calendar is empty.
+  void Run();
+
+  /// Runs all events with timestamp <= `until`, then advances Now() to
+  /// `until`.  Later events remain queued.
+  void RunUntil(SimTime until);
+
+  /// Signals cooperative shutdown: long-running generator processes are
+  /// expected to poll ShuttingDown() after each wait and terminate.
+  void RequestShutdown() { shutting_down_ = true; }
+  bool ShuttingDown() const { return shutting_down_; }
+
+  /// Number of events processed since construction (diagnostics).
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::coroutine_handle<> handle;     // either handle ...
+    std::function<void()> callback;     // ... or callback is set
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;  // min-heap on time
+      return a.seq > b.seq;                  // FIFO for equal times
+    }
+  };
+
+  void Dispatch(Event& event);
+
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Awaits all tasks in `tasks` concurrently; completes when the last one
+/// finishes.  Tasks are started in order at the current simulation time.
+Task<> WhenAll(Scheduler& sched, std::vector<Task<>> tasks);
+
+}  // namespace pdblb::sim
+
+#endif  // PDBLB_SIMKERN_SCHEDULER_H_

@@ -1,0 +1,47 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "simkern/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdblb::sim {
+
+void SampleStat::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void SampleStat::Reset() { *this = SampleStat(); }
+
+double SampleStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double SampleStat::stddev() const { return std::sqrt(variance()); }
+
+void TimeWeightedStat::Set(double value, SimTime now) {
+  integral_ += value_ * (now - last_update_);
+  value_ = value;
+  last_update_ = now;
+}
+
+double TimeWeightedStat::TimeAverage(SimTime now) const {
+  double window = now - window_start_;
+  if (window <= 0.0) return value_;
+  double integral = integral_ + value_ * (now - last_update_);
+  return integral / window;
+}
+
+void TimeWeightedStat::ResetWindow(SimTime now) {
+  integral_ = 0.0;
+  last_update_ = now;
+  window_start_ = now;
+}
+
+}  // namespace pdblb::sim

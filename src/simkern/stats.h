@@ -1,0 +1,80 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Statistics accumulators used for all simulation outputs: event-based
+// samples (response times), time-weighted values (queue lengths, memory
+// occupancy) and simple counters.
+
+#ifndef PDBLB_SIMKERN_STATS_H_
+#define PDBLB_SIMKERN_STATS_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/units.h"
+
+namespace pdblb::sim {
+
+/// Streaming mean/variance/min/max over samples (Welford's algorithm).
+class SampleStat {
+ public:
+  void Add(double x);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a piecewise-constant value, e.g. the number of
+/// occupied buffer frames.  Call Set() whenever the value changes.
+class TimeWeightedStat {
+ public:
+  explicit TimeWeightedStat(double initial = 0.0) : value_(initial) {}
+
+  /// Records a new value effective at time `now`.
+  void Set(double value, SimTime now);
+
+  /// Current (instantaneous) value.
+  double value() const { return value_; }
+
+  /// Time average over [window start, now].
+  double TimeAverage(SimTime now) const;
+
+  /// Restarts the averaging window at `now`, keeping the current value.
+  void ResetWindow(SimTime now);
+
+ private:
+  double value_;
+  double integral_ = 0.0;
+  SimTime last_update_ = 0.0;
+  SimTime window_start_ = 0.0;
+};
+
+/// Monotonic counter with window support (throughput measurements).
+class WindowedCounter {
+ public:
+  void Add(int64_t delta = 1) { total_ += delta; }
+  void ResetWindow() { window_base_ = total_; }
+
+  int64_t total() const { return total_; }
+  int64_t InWindow() const { return total_ - window_base_; }
+
+ private:
+  int64_t total_ = 0;
+  int64_t window_base_ = 0;
+};
+
+}  // namespace pdblb::sim
+
+#endif  // PDBLB_SIMKERN_STATS_H_

@@ -1,0 +1,178 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Coroutine task type for the discrete-event simulation kernel.
+//
+// A `Task<T>` is a lazily-started coroutine.  Simulation processes are
+// written as ordinary C++20 coroutines that `co_await` kernel awaitables
+// (delays, resource acquisitions, channel receives) and other tasks:
+//
+//   Task<> QueryExecution(Scheduler& sched, ...) {
+//     co_await sched.Delay(1.25);            // 25k instructions of BOT work
+//     co_await disk.Read(page);              // FCFS disk queue
+//     co_await SubOperation(...);            // nested task, runs inline
+//   }
+//
+// Ownership rules:
+//  * Awaiting a task (`co_await std::move(t)` or awaiting a temporary) keeps
+//    the frame alive until completion; the Task destructor destroys it.
+//  * `Scheduler::Spawn` detaches a task: the frame self-destroys at
+//    completion.  Detached tasks must not be awaited.
+
+#ifndef PDBLB_SIMKERN_TASK_H_
+#define PDBLB_SIMKERN_TASK_H_
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace pdblb::sim {
+
+template <typename T>
+class Task;
+
+namespace internal {
+
+/// Promise behaviour shared by Task<T> and Task<void>.
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+  bool detached = false;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      PromiseBase& p = h.promise();
+      std::coroutine_handle<> next =
+          p.continuation ? p.continuation : std::noop_coroutine();
+      if (p.detached) {
+        // Detached frames own themselves; nobody will destroy them later.
+        h.destroy();
+      }
+      return next;
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace internal
+
+/// A lazily-started simulation coroutine returning T.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  /// Releases ownership of the frame and marks it self-destroying.
+  /// Used by Scheduler::Spawn.
+  Handle Detach() {
+    assert(handle_);
+    handle_.promise().detached = true;
+    return std::exchange(handle_, {});
+  }
+
+  // --- awaitable interface ------------------------------------------------
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) {
+    assert(handle_ && !handle_.promise().detached);
+    handle_.promise().continuation = awaiting;
+    return handle_;  // symmetric transfer: start the child immediately
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    assert(p.value.has_value());
+    return std::move(*p.value);
+  }
+
+ private:
+  Handle handle_;
+};
+
+/// Specialization for void-returning simulation processes.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  Handle Detach() {
+    assert(handle_);
+    handle_.promise().detached = true;
+    return std::exchange(handle_, {});
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) {
+    assert(handle_ && !handle_.promise().detached);
+    handle_.promise().continuation = awaiting;
+    return handle_;
+  }
+  void await_resume() {
+    auto& p = handle_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+  }
+
+ private:
+  Handle handle_;
+};
+
+}  // namespace pdblb::sim
+
+#endif  // PDBLB_SIMKERN_TASK_H_

@@ -1,0 +1,71 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// TaskGroup: dynamic fork/join.  Unlike WhenAll, tasks can be added while
+// others are already running (e.g. packet-send tasks spawned as a scan
+// streams), and Wait() completes once the group is empty.
+
+#ifndef PDBLB_SIMKERN_TASK_GROUP_H_
+#define PDBLB_SIMKERN_TASK_GROUP_H_
+
+#include <coroutine>
+#include <vector>
+
+#include "simkern/scheduler.h"
+#include "simkern/task.h"
+
+namespace pdblb::sim {
+
+/// A set of detached tasks with a joinable completion point.
+///
+/// The group must outlive all tasks spawned into it (the usual pattern:
+/// a coroutine creates a TaskGroup on its frame, spawns into it, and
+/// `co_await group.Wait()` before the frame dies).
+class TaskGroup {
+ public:
+  explicit TaskGroup(Scheduler& sched) : sched_(sched) {}
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Starts `task` at the current simulation time as a member of the group.
+  void Spawn(Task<> task) {
+    ++active_;
+    sched_.Spawn(RunAndFinish(std::move(task), this));
+  }
+
+  int active() const { return active_; }
+
+  /// Completes when all spawned tasks have finished.  Multiple waiters are
+  /// allowed; an empty group completes immediately.
+  auto Wait() {
+    struct Awaiter {
+      TaskGroup* group;
+      bool await_ready() const noexcept { return group->active_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        group->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  static Task<> RunAndFinish(Task<> task, TaskGroup* group) {
+    co_await std::move(task);
+    group->Finish();
+  }
+
+  void Finish() {
+    if (--active_ == 0) {
+      for (auto h : waiters_) sched_.ScheduleHandle(sched_.Now(), h);
+      waiters_.clear();
+    }
+  }
+
+  Scheduler& sched_;
+  int active_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace pdblb::sim
+
+#endif  // PDBLB_SIMKERN_TASK_GROUP_H_

@@ -1,0 +1,30 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "workload/arrivals.h"
+
+#include <cassert>
+
+namespace pdblb {
+
+sim::Task<> PoissonArrivals(sim::Scheduler& sched, sim::Rng rng,
+                            double rate_per_second,
+                            std::function<void(int64_t)> fire) {
+  assert(rate_per_second > 0.0);
+  double mean_interarrival_ms = 1000.0 / rate_per_second;
+  int64_t seq = 0;
+  while (!sched.ShuttingDown()) {
+    co_await sched.Delay(rng.Exponential(mean_interarrival_ms));
+    if (sched.ShuttingDown()) break;
+    fire(seq++);
+  }
+}
+
+sim::Task<> ClosedLoop(int64_t count,
+                       std::function<sim::Task<>(int64_t)> body, bool* done) {
+  for (int64_t i = 0; i < count; ++i) {
+    co_await body(i);
+  }
+  if (done != nullptr) *done = true;
+}
+
+}  // namespace pdblb

@@ -1,0 +1,35 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Workload generation (paper Section 4): the simulation system is an open
+// queueing model with an individual arrival rate per transaction/query type.
+// This module provides the Poisson arrival source used for all open classes
+// and a closed sequential loop used for single-user experiments.
+
+#ifndef PDBLB_WORKLOAD_ARRIVALS_H_
+#define PDBLB_WORKLOAD_ARRIVALS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.h"
+#include "simkern/rng.h"
+#include "simkern/scheduler.h"
+#include "simkern/task.h"
+
+namespace pdblb {
+
+/// Spawns `fire(seq)` according to a Poisson process with the given rate
+/// (arrivals per second).  Terminates when the scheduler shuts down.
+sim::Task<> PoissonArrivals(sim::Scheduler& sched, sim::Rng rng,
+                            double rate_per_second,
+                            std::function<void(int64_t)> fire);
+
+/// Runs `body(seq)` `count` times back to back (single-user mode: the next
+/// query enters only after the previous one finished).  Sets `*done` at the
+/// end if non-null.
+sim::Task<> ClosedLoop(int64_t count,
+                       std::function<sim::Task<>(int64_t)> body, bool* done);
+
+}  // namespace pdblb
+
+#endif  // PDBLB_WORKLOAD_ARRIVALS_H_

@@ -1,0 +1,90 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Workload traces (paper Section 4: the simulation system supports "the use
+// of real-life database traces [18]").  A trace is a plain-text file of
+// arrival events, one per line:
+//
+//   <arrival_ms> <class>
+//
+// where <class> is one of: join, scan, update, multiway, oltp:<node>.
+// Lines starting with '#' are comments.  TraceRecorder captures the arrival
+// stream of a simulation run into this format; TraceReplay feeds a recorded
+// (or real) trace back into a cluster, replacing the Poisson sources — so
+// two systems can be compared under an *identical* arrival sequence.
+
+#ifndef PDBLB_WORKLOAD_TRACE_H_
+#define PDBLB_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "simkern/scheduler.h"
+#include "simkern/task.h"
+
+namespace pdblb {
+
+/// Workload classes that can appear in a trace.
+enum class TraceClass {
+  kJoin,
+  kScan,
+  kUpdate,
+  kMultiwayJoin,
+  kOltp,
+};
+
+/// One arrival event.
+struct TraceEvent {
+  SimTime arrival_ms = 0.0;
+  TraceClass cls = TraceClass::kJoin;
+  PeId oltp_node = 0;  ///< Only meaningful for kOltp.
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// An in-memory trace, ordered by arrival time.
+class Trace {
+ public:
+  void Add(TraceEvent event) { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  /// Sorts events by arrival time (stable: ties keep insertion order).
+  void SortByArrival();
+
+  /// Serializes to the plain-text trace format.
+  std::string ToText() const;
+
+  /// Parses the plain-text trace format.  Returns an error with the first
+  /// offending line on malformed input.
+  static Status FromText(const std::string& text, Trace* out);
+
+  Status WriteFile(const std::string& path) const;
+  static Status ReadFile(const std::string& path, Trace* out);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Draws a synthetic trace from independent Poisson processes with the
+/// given per-class rates (events per second; 0 disables a class) over
+/// `horizon_ms`.  `oltp_nodes` receive independent streams of
+/// `oltp_tps_per_node` each.  Deterministic per seed.
+Trace SynthesizeTrace(uint64_t seed, SimTime horizon_ms,
+                      double join_qps, double scan_qps, double update_qps,
+                      double multiway_qps,
+                      const std::vector<PeId>& oltp_nodes,
+                      double oltp_tps_per_node);
+
+/// Spawns `fire(event)` at every event's arrival time.  Terminates after
+/// the last event (or at scheduler shutdown).
+sim::Task<> ReplayTrace(sim::Scheduler& sched, Trace trace,
+                        std::function<void(const TraceEvent&)> fire);
+
+}  // namespace pdblb
+
+#endif  // PDBLB_WORKLOAD_TRACE_H_

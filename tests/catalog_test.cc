@@ -1,0 +1,154 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Unit tests for the database model: page geometry, declustering,
+// index descriptors, and the paper's schema construction.
+
+#include <gtest/gtest.h>
+
+#include "catalog/database.h"
+#include "catalog/relation.h"
+
+namespace pdblb {
+namespace {
+
+RelationConfig PaperA() {
+  RelationConfig cfg;
+  cfg.name = "A";
+  cfg.num_tuples = 250000;
+  cfg.tuple_size_bytes = 400;
+  cfg.blocking_factor = 20;
+  cfg.index = IndexType::kClusteredBTree;
+  return cfg;
+}
+
+TEST(RelationTest, TotalPagesMatchesPaper) {
+  Relation a(kRelationA, PaperA(), {0, 1});
+  EXPECT_EQ(a.TotalPages(), 12500);  // 100 MB at 8 KB pages
+}
+
+TEST(RelationTest, UniformDeclusteringSplitsTuples) {
+  Relation a(kRelationA, PaperA(), {0, 1, 2, 3});
+  EXPECT_EQ(a.TuplesAt(0), 62500);
+  EXPECT_EQ(a.TuplesAt(3), 62500);
+  EXPECT_EQ(a.PagesAt(0), 3125);
+  EXPECT_EQ(a.TuplesAt(7), 0);  // not a home PE
+  EXPECT_TRUE(a.IsHome(2));
+  EXPECT_FALSE(a.IsHome(9));
+}
+
+TEST(RelationTest, LastFragmentAbsorbsRemainder) {
+  RelationConfig cfg = PaperA();
+  cfg.num_tuples = 100;
+  Relation r(5, cfg, {0, 1, 2});
+  EXPECT_EQ(r.TuplesAt(0), 33);
+  EXPECT_EQ(r.TuplesAt(1), 33);
+  EXPECT_EQ(r.TuplesAt(2), 34);
+  EXPECT_EQ(r.TuplesAt(0) + r.TuplesAt(1) + r.TuplesAt(2), 100);
+}
+
+TEST(RelationTest, DataPagesAreDistinctAcrossFragments) {
+  Relation a(kRelationA, PaperA(), {0, 1});
+  PageKey p0 = a.DataPage(0, 0);
+  PageKey p1 = a.DataPage(1, 0);
+  EXPECT_NE(p0.page_no, p1.page_no);
+  EXPECT_EQ(p0.relation_id, p1.relation_id);
+  // Pages within a fragment are contiguous (required for striped reads).
+  EXPECT_EQ(a.DataPage(0, 5).page_no, a.DataPage(0, 0).page_no + 5);
+}
+
+TEST(RelationTest, IndexLeafPagesDisjointFromDataPages) {
+  RelationConfig cfg = PaperA();
+  cfg.index = IndexType::kUnclusteredBTree;
+  Relation r(7, cfg, {0, 1});
+  PageKey leaf = r.IndexLeafPage(0, 0);
+  int64_t max_data = r.DataPage(1, r.PagesAt(1) - 1).page_no;
+  EXPECT_GT(leaf.page_no, max_data);
+}
+
+TEST(RelationTest, IndexLevels) {
+  // Clustered: levels above the data pages.
+  Relation a(kRelationA, PaperA(), {0});  // 12500 data pages, fanout 200
+  EXPECT_EQ(a.IndexLevels(0), 2);  // 200^2 = 40000 >= 12500
+
+  RelationConfig small = PaperA();
+  small.num_tuples = 1000;  // 50 pages -> one level
+  Relation s(8, small, {0});
+  EXPECT_EQ(s.IndexLevels(0), 1);
+
+  RelationConfig none = PaperA();
+  none.index = IndexType::kNone;
+  Relation n(9, none, {0});
+  EXPECT_EQ(n.IndexLevels(0), 0);
+}
+
+TEST(RelationTest, UnclusteredLeafCount) {
+  RelationConfig cfg = PaperA();
+  cfg.index = IndexType::kUnclusteredBTree;
+  cfg.num_tuples = 100000;
+  Relation r(6, cfg, {0});
+  EXPECT_EQ(r.IndexLeafPages(0), 500);  // 100000 / 200 entries per leaf
+  EXPECT_EQ(r.IndexLevels(0), 2);       // 200^2 >= 500 leaves... root+1
+}
+
+TEST(DatabaseTest, PaperSchemaSplit) {
+  SystemConfig cfg;
+  cfg.num_pes = 40;
+  Database db(cfg);
+  EXPECT_EQ(db.a_nodes().size(), 8u);   // 20%
+  EXPECT_EQ(db.b_nodes().size(), 32u);  // 80%
+  EXPECT_TRUE(db.a().IsHome(0));
+  EXPECT_FALSE(db.a().IsHome(8));
+  EXPECT_TRUE(db.b().IsHome(8));
+  EXPECT_TRUE(db.oltp_nodes().empty());
+  EXPECT_EQ(db.oltp_relation(0), nullptr);
+}
+
+TEST(DatabaseTest, OltpOnANodes) {
+  SystemConfig cfg;
+  cfg.num_pes = 20;
+  cfg.oltp.enabled = true;
+  cfg.oltp.placement = OltpPlacement::kANodes;
+  Database db(cfg);
+  EXPECT_EQ(db.oltp_nodes().size(), 4u);
+  EXPECT_NE(db.oltp_relation(0), nullptr);
+  EXPECT_EQ(db.oltp_relation(5), nullptr);  // B node
+  EXPECT_EQ(db.oltp_relation(0)->index_type(), IndexType::kUnclusteredBTree);
+}
+
+TEST(DatabaseTest, OltpOnBNodes) {
+  SystemConfig cfg;
+  cfg.num_pes = 20;
+  cfg.oltp.enabled = true;
+  cfg.oltp.placement = OltpPlacement::kBNodes;
+  Database db(cfg);
+  EXPECT_EQ(db.oltp_nodes().size(), 16u);
+  EXPECT_EQ(db.oltp_relation(0), nullptr);  // A node
+  EXPECT_NE(db.oltp_relation(5), nullptr);
+}
+
+TEST(DatabaseTest, OltpRelationIdsAreUniquePerNode) {
+  SystemConfig cfg;
+  cfg.num_pes = 10;
+  cfg.oltp.enabled = true;
+  cfg.oltp.placement = OltpPlacement::kAllNodes;
+  Database db(cfg);
+  for (PeId pe = 0; pe < 10; ++pe) {
+    ASSERT_NE(db.oltp_relation(pe), nullptr);
+    EXPECT_EQ(db.oltp_relation(pe)->id(), kOltpRelationBase + pe);
+  }
+}
+
+TEST(PageKeyTest, HashSpreadsAcrossBuckets) {
+  PageKeyHash h;
+  std::vector<int> buckets(16, 0);
+  for (int64_t i = 0; i < 1600; ++i) {
+    ++buckets[h(PageKey{1, i}) % 16];
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, 50);  // roughly uniform (100 expected)
+    EXPECT_LT(b, 150);
+  }
+}
+
+}  // namespace
+}  // namespace pdblb

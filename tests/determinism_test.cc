@@ -1,0 +1,113 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Determinism: every experiment is exactly reproducible from its seed, for
+// every workload class, architecture, CC scheme and join method — and
+// different seeds genuinely change the outcome.  This is what makes the
+// figure reproductions trustworthy.
+
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+
+namespace pdblb {
+namespace {
+
+MetricsReport RunOnce(const SystemConfig& cfg) {
+  Cluster cluster(cfg);
+  return cluster.Run();
+}
+
+void ExpectIdentical(const MetricsReport& a, const MetricsReport& b) {
+  EXPECT_DOUBLE_EQ(a.join_rt_ms, b.join_rt_ms);
+  EXPECT_EQ(a.joins_completed, b.joins_completed);
+  EXPECT_DOUBLE_EQ(a.avg_degree, b.avg_degree);
+  EXPECT_DOUBLE_EQ(a.cpu_utilization, b.cpu_utilization);
+  EXPECT_DOUBLE_EQ(a.oltp_rt_ms, b.oltp_rt_ms);
+  EXPECT_EQ(a.oltp_completed, b.oltp_completed);
+  EXPECT_DOUBLE_EQ(a.scan_rt_ms, b.scan_rt_ms);
+  EXPECT_DOUBLE_EQ(a.update_rt_ms, b.update_rt_ms);
+  EXPECT_DOUBLE_EQ(a.multiway_rt_ms, b.multiway_rt_ms);
+  EXPECT_EQ(a.lock_waits, b.lock_waits);
+}
+
+SystemConfig SmallConfig() {
+  SystemConfig cfg;
+  cfg.num_pes = 10;
+  cfg.warmup_ms = 500.0;
+  cfg.measurement_ms = 4000.0;
+  return cfg;
+}
+
+TEST(DeterminismTest, BaseJoinWorkload) {
+  SystemConfig cfg = SmallConfig();
+  ExpectIdentical(RunOnce(cfg), RunOnce(cfg));
+}
+
+TEST(DeterminismTest, DifferentSeedsDiffer) {
+  SystemConfig a = SmallConfig();
+  SystemConfig b = SmallConfig();
+  b.seed = 4711;
+  MetricsReport ra = RunOnce(a);
+  MetricsReport rb = RunOnce(b);
+  EXPECT_NE(ra.join_rt_ms, rb.join_rt_ms);
+}
+
+TEST(DeterminismTest, AllClassesMixed) {
+  SystemConfig cfg = SmallConfig();
+  cfg.join_query.arrival_rate_per_pe_qps = 0.05;
+  cfg.scan_query.enabled = true;
+  cfg.scan_query.arrival_rate_per_pe_qps = 0.05;
+  cfg.update_query.enabled = true;
+  cfg.update_query.arrival_rate_per_pe_qps = 0.05;
+  cfg.multiway_join.enabled = true;
+  cfg.multiway_join.arrival_rate_per_pe_qps = 0.02;
+  cfg.oltp.enabled = true;
+  cfg.oltp.tps_per_node = 20.0;
+  ExpectIdentical(RunOnce(cfg), RunOnce(cfg));
+}
+
+TEST(DeterminismTest, SharedDiskArchitecture) {
+  SystemConfig cfg = SmallConfig();
+  cfg.architecture = Architecture::kSharedDisk;
+  cfg.oltp.enabled = true;
+  cfg.oltp.placement = OltpPlacement::kANodes;
+  cfg.oltp.tps_per_node = 50.0;
+  ExpectIdentical(RunOnce(cfg), RunOnce(cfg));
+}
+
+TEST(DeterminismTest, TwoPhaseLockingScheme) {
+  SystemConfig cfg = SmallConfig();
+  cfg.cc_scheme = CcScheme::kTwoPhaseLocking;
+  cfg.update_query.enabled = true;
+  cfg.update_query.arrival_rate_per_pe_qps = 0.2;
+  ExpectIdentical(RunOnce(cfg), RunOnce(cfg));
+}
+
+TEST(DeterminismTest, SortMergeJoinMethod) {
+  SystemConfig cfg = SmallConfig();
+  cfg.local_join_method = LocalJoinMethod::kSortMerge;
+  ExpectIdentical(RunOnce(cfg), RunOnce(cfg));
+}
+
+TEST(DeterminismTest, SkewedRedistribution) {
+  SystemConfig cfg = SmallConfig();
+  cfg.join_query.redistribution_skew = 1.0;
+  cfg.strategy.skew_aware_assignment = true;
+  ExpectIdentical(RunOnce(cfg), RunOnce(cfg));
+}
+
+TEST(DeterminismTest, SingleUserMode) {
+  SystemConfig cfg = SmallConfig();
+  cfg.single_user_mode = true;
+  cfg.single_user_queries = 10;
+  ExpectIdentical(RunOnce(cfg), RunOnce(cfg));
+}
+
+TEST(DeterminismTest, RateMatchStrategy) {
+  SystemConfig cfg = SmallConfig();
+  cfg.strategy = strategies::RateMatchLUC();
+  ExpectIdentical(RunOnce(cfg), RunOnce(cfg));
+}
+
+}  // namespace
+}  // namespace pdblb

@@ -1,0 +1,139 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Figure-shape regression tests: compact versions of the paper's key
+// qualitative claims.  Each test runs two or more full simulations and
+// asserts the *ordering* the paper reports (not absolute numbers).  These
+// are the most expensive tests in the suite (seconds each).
+
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+
+namespace pdblb {
+namespace {
+
+MetricsReport RunSim(SystemConfig cfg) { return Cluster(cfg).Run(); }
+
+SystemConfig Homogeneous(int n, StrategyConfig strategy) {
+  SystemConfig cfg;
+  cfg.num_pes = n;
+  cfg.warmup_ms = 3000.0;
+  cfg.measurement_ms = 10000.0;
+  cfg.strategy = strategy;
+  return cfg;
+}
+
+// Fig. 5, left side of the x-axis: at moderate sizes the full single-user
+// degree (p_su-opt = 30) beats the minimal p_su-noIO = 3.
+TEST(FigureShapeTest, Fig5PsuOptWinsAtModerateSize) {
+  MetricsReport opt = RunSim(Homogeneous(40, strategies::PsuOptLUM()));
+  MetricsReport noio = RunSim(Homogeneous(40, strategies::PsuNoIOLUM()));
+  EXPECT_LT(opt.join_rt_ms, noio.join_rt_ms);
+}
+
+// Fig. 5, right side: at 80 PE the CPU overhead of 30-way parallelism
+// dominates and p_su-noIO + LUM wins; RANDOM placement is always worse.
+TEST(FigureShapeTest, Fig5PsuNoIoLumWinsAtLargeSize) {
+  MetricsReport opt = RunSim(Homogeneous(80, strategies::PsuOptLUM()));
+  MetricsReport noio = RunSim(Homogeneous(80, strategies::PsuNoIOLUM()));
+  EXPECT_LT(noio.join_rt_ms, opt.join_rt_ms);
+}
+
+TEST(FigureShapeTest, Fig5RandomPlacementLosesToLum) {
+  MetricsReport rnd = RunSim(Homogeneous(80, strategies::PsuNoIORandom()));
+  MetricsReport lum = RunSim(Homogeneous(80, strategies::PsuNoIOLUM()));
+  EXPECT_LT(lum.join_rt_ms, rnd.join_rt_ms);
+}
+
+// Fig. 6: the CPU-aware dynamic strategies beat the I/O-only integrated
+// strategies at large system sizes, and OPT-IO-CPU ~ p_mu-cpu + LUM.
+TEST(FigureShapeTest, Fig6CpuAwareStrategiesWinAtScale) {
+  MetricsReport pmu = RunSim(Homogeneous(80, strategies::PmuCpuLUM()));
+  MetricsReport opt_io = RunSim(Homogeneous(80, strategies::OptIOCpu()));
+  MetricsReport minio_suopt = RunSim(Homogeneous(80, strategies::MinIOSuOpt()));
+  EXPECT_LT(pmu.join_rt_ms, minio_suopt.join_rt_ms);
+  EXPECT_LT(opt_io.join_rt_ms, minio_suopt.join_rt_ms);
+  // "Very similar performance characteristics" — within a factor of two.
+  double ratio = pmu.join_rt_ms / opt_io.join_rt_ms;
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+// Fig. 6's side observation: the winners keep CPU utilization moderate.
+TEST(FigureShapeTest, Fig6WinnersKeepCpuModerate) {
+  MetricsReport pmu = RunSim(Homogeneous(80, strategies::PmuCpuLUM()));
+  EXPECT_LT(pmu.cpu_utilization, 0.80);
+}
+
+// Fig. 7: in a memory-bound environment (buffers / 10, one disk per PE,
+// low arrival rate), MIN-IO-SUOPT increases the degree of parallelism and
+// clearly beats the CPU-only p_mu-cpu + LUM.
+TEST(FigureShapeTest, Fig7MemoryBoundFavorsMinIoSuOpt) {
+  auto memory_bound = [](StrategyConfig s) {
+    SystemConfig cfg = Homogeneous(80, s);
+    cfg.buffer.buffer_pages = 5;
+    cfg.disk.disks_per_pe = 1;
+    cfg.join_query.arrival_rate_per_pe_qps = 0.05;
+    cfg.measurement_ms = 12000.0;
+    return cfg;
+  };
+  MetricsReport pmu = RunSim(memory_bound(strategies::PmuCpuLUM()));
+  MetricsReport suopt = RunSim(memory_bound(strategies::MinIOSuOpt()));
+  EXPECT_LT(suopt.join_rt_ms, pmu.join_rt_ms);
+  // The integrated strategy raises the degree beyond p_su-opt = 30.
+  EXPECT_GT(suopt.avg_degree, pmu.avg_degree);
+}
+
+// Fig. 9a: mixed workload, OLTP on the A nodes.  OPT-IO-CPU avoids the
+// OLTP nodes and beats the isolated p_mu-cpu + LUM at small sizes.
+TEST(FigureShapeTest, Fig9aOptIoCpuAvoidsOltpNodes) {
+  auto mixed = [](StrategyConfig s) {
+    SystemConfig cfg = Homogeneous(20, s);
+    cfg.join_query.arrival_rate_per_pe_qps = 0.075;
+    cfg.oltp.enabled = true;
+    cfg.oltp.placement = OltpPlacement::kANodes;
+    cfg.disk.disks_per_pe = 5;
+    return cfg;
+  };
+  MetricsReport pmu = RunSim(mixed(strategies::PmuCpuLUM()));
+  MetricsReport opt_io = RunSim(mixed(strategies::OptIOCpu()));
+  EXPECT_LT(opt_io.join_rt_ms, pmu.join_rt_ms);
+  // The OLTP class also benefits (joins keep off its nodes).
+  EXPECT_LT(opt_io.oltp_rt_ms, pmu.oltp_rt_ms);
+  // OPT-IO-CPU restricts itself to (at most) the 16 non-OLTP nodes.
+  EXPECT_LE(opt_io.avg_degree, 16.5);
+}
+
+// Fig. 9b: OLTP on the B nodes (4x the OLTP throughput).  Dynamic beats
+// static RANDOM placement.
+TEST(FigureShapeTest, Fig9bDynamicBeatsStaticRandom) {
+  auto mixed = [](StrategyConfig s) {
+    SystemConfig cfg = Homogeneous(80, s);
+    cfg.join_query.arrival_rate_per_pe_qps = 0.075;
+    cfg.oltp.enabled = true;
+    cfg.oltp.placement = OltpPlacement::kBNodes;
+    cfg.disk.disks_per_pe = 5;
+    return cfg;
+  };
+  MetricsReport random_static = RunSim(mixed(strategies::PsuOptRandom()));
+  MetricsReport noio_lum = RunSim(mixed(strategies::PsuNoIOLUM()));
+  EXPECT_LT(noio_lum.join_rt_ms, random_static.join_rt_ms);
+}
+
+// Fig. 8 directionality: with small joins (0.1% selectivity) low degrees
+// win; the integrated MIN-IO picks a small degree on its own.
+TEST(FigureShapeTest, Fig8SmallJoinsFavorFewProcessors) {
+  auto small_join = [](StrategyConfig s) {
+    SystemConfig cfg = Homogeneous(60, s);
+    cfg.join_query.scan_selectivity = 0.001;
+    cfg.join_query.arrival_rate_per_pe_qps = 1.0;  // keep the system busy
+    return cfg;
+  };
+  MetricsReport minio = RunSim(small_join(strategies::MinIO()));
+  MetricsReport suopt_rand = RunSim(small_join(strategies::PsuOptRandom()));
+  EXPECT_LT(minio.avg_degree, 10.0);
+  EXPECT_LT(minio.join_rt_ms, suopt_rand.join_rt_ms);
+}
+
+}  // namespace
+}  // namespace pdblb

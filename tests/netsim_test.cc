@@ -1,0 +1,122 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Unit tests for the network model: packet disassembly, CPU cost charging
+// at both endpoints, wire latency and local-transfer shortcuts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "netsim/network.h"
+#include "simkern/resource.h"
+#include "simkern/scheduler.h"
+
+namespace pdblb {
+namespace {
+
+struct Fixture {
+  sim::Scheduler sched;
+  std::vector<std::unique_ptr<sim::Resource>> cpus;
+  NetworkConfig config;
+  CpuCosts costs;
+  std::unique_ptr<Network> net;
+
+  explicit Fixture(int pes = 4) {
+    for (int i = 0; i < pes; ++i) {
+      cpus.push_back(std::make_unique<sim::Resource>(sched, 1, "cpu"));
+    }
+    net = std::make_unique<Network>(
+        sched, config, costs, 20.0,
+        [this](PeId pe) -> sim::Resource& { return *cpus[pe]; });
+  }
+};
+
+TEST(NetworkTest, PacketsForBytes) {
+  Fixture f;
+  EXPECT_EQ(f.net->PacketsFor(0), 1);
+  EXPECT_EQ(f.net->PacketsFor(1), 1);
+  EXPECT_EQ(f.net->PacketsFor(8192), 1);
+  EXPECT_EQ(f.net->PacketsFor(8193), 2);
+  EXPECT_EQ(f.net->PacketsFor(5 * 8192), 5);
+}
+
+TEST(NetworkTest, SinglePacketTransferTiming) {
+  Fixture f;
+  SimTime end = -1;
+  f.sched.Spawn([](Fixture& fx, SimTime* out) -> sim::Task<> {
+    co_await fx.net->Transfer(0, 1, 100);
+    *out = fx.sched.Now();
+  }(f, &end));
+  f.sched.Run();
+  // Sender (5000+5000)/20k = 0.5 ms, wire 0.1 ms, receiver
+  // (10000+5000)/20k = 0.75 ms.
+  EXPECT_NEAR(end, 0.5 + 0.1 + 0.75, 1e-9);
+  EXPECT_EQ(f.net->messages_sent(), 1);
+  EXPECT_EQ(f.net->packets_sent(), 1);
+}
+
+TEST(NetworkTest, MultiPacketMessageChargesPerPacket) {
+  Fixture f;
+  SimTime end = -1;
+  f.sched.Spawn([](Fixture& fx, SimTime* out) -> sim::Task<> {
+    co_await fx.net->Transfer(0, 1, 3 * 8192);
+    *out = fx.sched.Now();
+  }(f, &end));
+  f.sched.Run();
+  // Sender (5000+3*5000)/20k = 1.0; wire 0.3; receiver (10000+3*5000)/20k
+  // = 1.25.
+  EXPECT_NEAR(end, 1.0 + 0.3 + 1.25, 1e-9);
+  EXPECT_EQ(f.net->packets_sent(), 3);
+  EXPECT_EQ(f.net->bytes_sent(), 3 * 8192);
+}
+
+TEST(NetworkTest, LocalTransferIsFree) {
+  Fixture f;
+  SimTime end = -1;
+  f.sched.Spawn([](Fixture& fx, SimTime* out) -> sim::Task<> {
+    co_await fx.net->Transfer(2, 2, 1 << 20);
+    *out = fx.sched.Now();
+  }(f, &end));
+  f.sched.Run();
+  EXPECT_DOUBLE_EQ(end, 0.0);
+  EXPECT_EQ(f.net->messages_sent(), 0);
+}
+
+TEST(NetworkTest, SenderCpuContentionDelaysTransfer) {
+  Fixture f;
+  SimTime end = -1;
+  // Occupy the sender CPU for 10 ms; the transfer must queue behind it.
+  f.sched.Spawn(f.cpus[0]->Use(10.0));
+  f.sched.Spawn([](Fixture& fx, SimTime* out) -> sim::Task<> {
+    co_await fx.net->Transfer(0, 1, 100);
+    *out = fx.sched.Now();
+  }(f, &end));
+  f.sched.Run();
+  EXPECT_NEAR(end, 10.0 + 1.35, 1e-9);
+}
+
+TEST(NetworkTest, ControlMessageIsOnePacket) {
+  Fixture f;
+  f.sched.Spawn([](Fixture& fx) -> sim::Task<> {
+    co_await fx.net->ControlMessage(0, 3);
+  }(f));
+  f.sched.Run();
+  EXPECT_EQ(f.net->packets_sent(), 1);
+}
+
+TEST(NetworkTest, StatsReset) {
+  Fixture f;
+  f.sched.Spawn([](Fixture& fx) -> sim::Task<> {
+    co_await fx.net->Transfer(0, 1, 8192 * 2);
+  }(f));
+  f.sched.Run();
+  EXPECT_GT(f.net->messages_sent(), 0);
+  f.net->ResetStats();
+  EXPECT_EQ(f.net->messages_sent(), 0);
+  EXPECT_EQ(f.net->packets_sent(), 0);
+  EXPECT_EQ(f.net->bytes_sent(), 0);
+}
+
+}  // namespace
+}  // namespace pdblb

@@ -1,0 +1,418 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Unit tests for the discrete-event kernel: scheduling order, delays,
+// resources, channels, latches, RNG determinism and statistics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simkern/channel.h"
+#include "simkern/latch.h"
+#include "simkern/resource.h"
+#include "simkern/rng.h"
+#include "simkern/scheduler.h"
+#include "simkern/stats.h"
+#include "simkern/task.h"
+
+namespace pdblb::sim {
+namespace {
+
+Task<> AppendAfter(Scheduler& sched, SimTime delay, int id,
+                   std::vector<int>* order) {
+  co_await sched.Delay(delay);
+  order->push_back(id);
+}
+
+Task<> IdleUntil(Scheduler& sched, SimTime delay) { co_await sched.Delay(delay); }
+
+TEST(SchedulerTest, EventsRunInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.Spawn(AppendAfter(sched, 5.0, 1, &order));
+  sched.Spawn(AppendAfter(sched, 1.0, 2, &order));
+  sched.Spawn(AppendAfter(sched, 3.0, 3, &order));
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+  EXPECT_DOUBLE_EQ(sched.Now(), 5.0);
+}
+
+TEST(SchedulerTest, EqualTimestampsAreFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.Spawn(AppendAfter(sched, 2.0, i, &order));
+  }
+  sched.Run();
+  std::vector<int> expected;
+  for (int i = 0; i < 10; ++i) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.Spawn(AppendAfter(sched, 1.0, 1, &order));
+  sched.Spawn(AppendAfter(sched, 10.0, 2, &order));
+  sched.RunUntil(5.0);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(sched.Now(), 5.0);
+  EXPECT_EQ(sched.pending_events(), 1u);
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerTest, CallbacksRun) {
+  Scheduler sched;
+  int hits = 0;
+  sched.ScheduleCallback(2.0, [&] { ++hits; });
+  sched.ScheduleCallback(4.0, [&] { ++hits; });
+  sched.Run();
+  EXPECT_EQ(hits, 2);
+}
+
+Task<> NestedChild(Scheduler& sched, int* state) {
+  *state = 1;
+  co_await sched.Delay(1.0);
+  *state = 2;
+}
+
+Task<> NestedParent(Scheduler& sched, int* state, SimTime* end_time) {
+  co_await NestedChild(sched, state);
+  *end_time = sched.Now();
+}
+
+TEST(TaskTest, NestedAwaitRunsChildToCompletion) {
+  Scheduler sched;
+  int state = 0;
+  SimTime end_time = -1.0;
+  sched.Spawn(NestedParent(sched, &state, &end_time));
+  sched.Run();
+  EXPECT_EQ(state, 2);
+  EXPECT_DOUBLE_EQ(end_time, 1.0);
+}
+
+Task<int> Compute(Scheduler& sched, int x) {
+  co_await sched.Delay(1.0);
+  co_return x * 2;
+}
+
+Task<> UseValue(Scheduler& sched, int* out) {
+  *out = co_await Compute(sched, 21);
+}
+
+TEST(TaskTest, ValueReturningTask) {
+  Scheduler sched;
+  int out = 0;
+  sched.Spawn(UseValue(sched, &out));
+  sched.Run();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(WhenAllTest, CompletesAtSlowestTask) {
+  Scheduler sched;
+  std::vector<int> order;
+  SimTime end = -1.0;
+  auto parent = [](Scheduler& s, std::vector<int>* ord,
+                   SimTime* end_time) -> Task<> {
+    std::vector<Task<>> tasks;
+    tasks.push_back(AppendAfter(s, 3.0, 1, ord));
+    tasks.push_back(AppendAfter(s, 7.0, 2, ord));
+    tasks.push_back(AppendAfter(s, 5.0, 3, ord));
+    co_await WhenAll(s, std::move(tasks));
+    *end_time = s.Now();
+  };
+  sched.Spawn(parent(sched, &order, &end));
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_DOUBLE_EQ(end, 7.0);
+}
+
+TEST(WhenAllTest, EmptyTaskListCompletesImmediately) {
+  Scheduler sched;
+  bool done = false;
+  auto parent = [](Scheduler& s, bool* flag) -> Task<> {
+    co_await WhenAll(s, {});
+    *flag = true;
+  };
+  sched.Spawn(parent(sched, &done));
+  sched.Run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sched.Now(), 0.0);
+}
+
+Task<> UseResource(Scheduler& sched, Resource& res, SimTime service,
+                   std::vector<SimTime>* completions) {
+  co_await res.Use(service);
+  completions->push_back(sched.Now());
+}
+
+TEST(ResourceTest, SingleServerSerializesFcfs) {
+  Scheduler sched;
+  Resource res(sched, 1, "cpu");
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    sched.Spawn(UseResource(sched, res, 10.0, &completions));
+  }
+  sched.Run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{10.0, 20.0, 30.0}));
+}
+
+TEST(ResourceTest, MultiServerRunsInParallel) {
+  Scheduler sched;
+  Resource res(sched, 3, "cpus");
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    sched.Spawn(UseResource(sched, res, 10.0, &completions));
+  }
+  sched.Run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{10.0, 10.0, 10.0}));
+}
+
+TEST(ResourceTest, UtilizationOfSaturatedServerIsOne) {
+  Scheduler sched;
+  Resource res(sched, 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 5; ++i) {
+    sched.Spawn(UseResource(sched, res, 4.0, &completions));
+  }
+  sched.Run();
+  EXPECT_DOUBLE_EQ(sched.Now(), 20.0);
+  EXPECT_NEAR(res.Utilization(), 1.0, 1e-9);
+  EXPECT_EQ(res.completed(), 5u);
+}
+
+TEST(ResourceTest, UtilizationReflectsIdleTime) {
+  Scheduler sched;
+  Resource res(sched, 2);
+  std::vector<SimTime> completions;
+  sched.Spawn(UseResource(sched, res, 10.0, &completions));
+  sched.Spawn(IdleUntil(sched, 40.0));  // stretch the horizon to 40 ms
+  // One server busy 10 ms out of a 40 ms horizon on 2 servers: 12.5%.
+  sched.Run();
+  EXPECT_NEAR(res.Utilization(), 10.0 / (2 * 40.0), 1e-9);
+}
+
+TEST(ResourceTest, ResetStatsStartsFreshWindow) {
+  Scheduler sched;
+  Resource res(sched, 1);
+  std::vector<SimTime> completions;
+  sched.Spawn(UseResource(sched, res, 10.0, &completions));
+  sched.Run();
+  res.ResetStats();
+  sched.Spawn(IdleUntil(sched, 10.0));
+  sched.Run();
+  EXPECT_NEAR(res.Utilization(), 0.0, 1e-9);
+}
+
+Task<> Producer(Scheduler& sched, Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await sched.Delay(1.0);
+    ch.Send(i);
+  }
+  ch.Close();
+}
+
+Task<> Consumer(Channel<int>& ch, std::vector<int>* got) {
+  while (true) {
+    auto v = co_await ch.Receive();
+    if (!v.has_value()) break;
+    got->push_back(*v);
+  }
+}
+
+TEST(ChannelTest, DeliversAllValuesInOrder) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  std::vector<int> got;
+  sched.Spawn(Consumer(ch, &got));
+  sched.Spawn(Producer(sched, ch, 5));
+  sched.Run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ChannelTest, MultipleConsumersShareValues) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  std::vector<int> got1, got2;
+  sched.Spawn(Consumer(ch, &got1));
+  sched.Spawn(Consumer(ch, &got2));
+  sched.Spawn(Producer(sched, ch, 10));
+  sched.Run();
+  EXPECT_EQ(got1.size() + got2.size(), 10u);
+}
+
+TEST(ChannelTest, CloseWithoutValuesUnblocksConsumer) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  std::vector<int> got;
+  sched.Spawn(Consumer(ch, &got));
+  sched.ScheduleCallback(5.0, [&] { ch.Close(); });
+  sched.Run();
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(LatchTest, WaitersReleasedOnFinalCountDown) {
+  Scheduler sched;
+  bool done = false;
+  auto waiter = [](Scheduler& s, Latch& l, bool* flag) -> Task<> {
+    co_await l.Wait();
+    *flag = true;
+    (void)s;
+  };
+  Latch latch(sched, 3);
+  sched.Spawn(waiter(sched, latch, &done));
+  sched.ScheduleCallback(1.0, [&] { latch.CountDown(); });
+  sched.ScheduleCallback(2.0, [&] { latch.CountDown(); });
+  sched.ScheduleCallback(3.0, [&] { latch.CountDown(); });
+  sched.Run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sched.Now(), 3.0);
+}
+
+TEST(LatchTest, ZeroCountIsImmediatelyDone) {
+  Scheduler sched;
+  Latch latch(sched, 0);
+  EXPECT_TRUE(latch.Done());
+  bool done = false;
+  auto waiter = [](Latch& l, bool* flag) -> Task<> {
+    co_await l.Wait();
+    *flag = true;
+  };
+  sched.Spawn(waiter(latch, &done));
+  sched.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng root(7);
+  Rng a = root.Fork(1);
+  Rng b = root.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng r1(99), r2(99);
+  Rng a = r1.Fork(3);
+  Rng b = r2.Fork(3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng r(5);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng r(11);
+  auto sample = r.SampleWithoutReplacement(20, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::vector<bool> seen(20, false);
+  for (int x : sample) {
+    ASSERT_GE(x, 0);
+    ASSERT_LT(x, 20);
+    EXPECT_FALSE(seen[x]);
+    seen[x] = true;
+  }
+}
+
+TEST(RngTest, SampleFullRangeIsPermutation) {
+  Rng r(13);
+  auto sample = r.SampleWithoutReplacement(8, 8);
+  std::vector<bool> seen(8, false);
+  for (int x : sample) seen[x] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(SampleStatTest, MeanAndVariance) {
+  SampleStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8);
+}
+
+TEST(SampleStatTest, EmptyStatIsZero) {
+  SampleStat s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.count(), 0);
+}
+
+TEST(TimeWeightedStatTest, PiecewiseConstantAverage) {
+  TimeWeightedStat s(0.0);
+  s.Set(10.0, 0.0);
+  s.Set(20.0, 5.0);   // 10 for [0,5)
+  s.Set(0.0, 10.0);   // 20 for [5,10)
+  // average over [0, 20]: (10*5 + 20*5 + 0*10) / 20 = 7.5
+  EXPECT_DOUBLE_EQ(s.TimeAverage(20.0), 7.5);
+}
+
+TEST(TimeWeightedStatTest, ResetWindowDropsHistory) {
+  TimeWeightedStat s(5.0);
+  s.Set(5.0, 0.0);
+  s.ResetWindow(10.0);
+  EXPECT_DOUBLE_EQ(s.TimeAverage(20.0), 5.0);
+}
+
+TEST(WindowedCounterTest, WindowDelta) {
+  WindowedCounter c;
+  c.Add(5);
+  c.ResetWindow();
+  c.Add(3);
+  EXPECT_EQ(c.total(), 8);
+  EXPECT_EQ(c.InWindow(), 3);
+}
+
+// Property-style sweep: with k servers and m jobs of equal service time s,
+// the makespan is ceil(m/k)*s and utilization is m*s/(k*makespan).
+struct ResourceLawParam {
+  int servers;
+  int jobs;
+  double service;
+};
+
+class ResourceLawTest : public ::testing::TestWithParam<ResourceLawParam> {};
+
+TEST_P(ResourceLawTest, MakespanAndUtilizationLaws) {
+  const auto p = GetParam();
+  Scheduler sched;
+  Resource res(sched, p.servers);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < p.jobs; ++i) {
+    sched.Spawn(UseResource(sched, res, p.service, &completions));
+  }
+  sched.Run();
+  double batches = std::ceil(static_cast<double>(p.jobs) / p.servers);
+  EXPECT_DOUBLE_EQ(sched.Now(), batches * p.service);
+  EXPECT_NEAR(res.Utilization(),
+              p.jobs * p.service / (p.servers * sched.Now()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, ResourceLawTest,
+    ::testing::Values(ResourceLawParam{1, 1, 3.0}, ResourceLawParam{1, 7, 2.0},
+                      ResourceLawParam{2, 8, 5.0}, ResourceLawParam{3, 7, 1.0},
+                      ResourceLawParam{4, 16, 2.5},
+                      ResourceLawParam{8, 3, 4.0}));
+
+}  // namespace
+}  // namespace pdblb::sim

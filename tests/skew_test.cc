@@ -1,0 +1,188 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Tests for redistribution-skew modeling (core/skew) and the skew-aware
+// subjoin assignment the paper sketches in its conclusions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/skew.h"
+#include "engine/cluster.h"
+#include "simkern/rng.h"
+
+namespace pdblb {
+namespace {
+
+// ------------------------------------------------------------- ZipfWeights
+
+TEST(ZipfWeightsTest, ThetaZeroIsUniform) {
+  auto w = ZipfWeights(8, 0.0);
+  ASSERT_EQ(w.size(), 8u);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0 / 8.0);
+}
+
+TEST(ZipfWeightsTest, NormalizedForAnyTheta) {
+  for (double theta : {0.0, 0.3, 0.5, 1.0, 2.0}) {
+    auto w = ZipfWeights(13, theta);
+    double sum = std::accumulate(w.begin(), w.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfWeightsTest, DescendingForPositiveTheta) {
+  auto w = ZipfWeights(10, 0.8);
+  EXPECT_TRUE(std::is_sorted(w.rbegin(), w.rend()));
+  EXPECT_GT(w.front(), w.back());
+}
+
+TEST(ZipfWeightsTest, HigherThetaMoreSkew) {
+  auto mild = ZipfWeights(10, 0.3);
+  auto heavy = ZipfWeights(10, 1.5);
+  EXPECT_GT(heavy[0], mild[0]);
+  EXPECT_LT(heavy[9], mild[9]);
+}
+
+TEST(ZipfWeightsTest, SinglePartition) {
+  auto w = ZipfWeights(1, 1.0);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+// ------------------------------------------------------------ SplitWeighted
+
+TEST(SplitWeightedTest, PreservesTotalExactly) {
+  sim::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    int parts = static_cast<int>(rng.UniformInt(1, 40));
+    double theta = 0.1 * static_cast<double>(rng.UniformInt(0, 20));
+    int64_t total = rng.UniformInt(0, 1000000);
+    auto shares = SplitWeighted(total, ZipfWeights(parts, theta));
+    EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), int64_t{0}),
+              total);
+  }
+}
+
+TEST(SplitWeightedTest, UniformWeightsMatchEvenSplit) {
+  auto shares = SplitWeighted(1003, ZipfWeights(4, 0.0));
+  std::sort(shares.begin(), shares.end());
+  EXPECT_EQ(shares.front(), 250);
+  EXPECT_EQ(shares.back(), 251);
+}
+
+TEST(SplitWeightedTest, SharesProportionalToWeights) {
+  auto w = ZipfWeights(5, 1.0);
+  auto shares = SplitWeighted(100000, w);
+  for (size_t j = 0; j < w.size(); ++j) {
+    EXPECT_NEAR(static_cast<double>(shares[j]), 100000.0 * w[j], 1.0);
+  }
+}
+
+TEST(SplitWeightedTest, ZeroTotal) {
+  auto shares = SplitWeighted(0, ZipfWeights(7, 1.0));
+  for (int64_t s : shares) EXPECT_EQ(s, 0);
+}
+
+TEST(SplitWeightedTest, FewerItemsThanParts) {
+  auto shares = SplitWeighted(3, ZipfWeights(8, 0.5));
+  EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), int64_t{0}), 3);
+  for (int64_t s : shares) EXPECT_GE(s, 0);
+}
+
+// ------------------------------------------------------------ AssignWeights
+
+TEST(AssignWeightsTest, SkewAwareKeepsDescendingOrder) {
+  sim::Rng rng(9);
+  auto assigned = AssignWeights(ZipfWeights(6, 1.0), /*skew_aware=*/true, rng);
+  EXPECT_TRUE(std::is_sorted(assigned.rbegin(), assigned.rend()));
+}
+
+TEST(AssignWeightsTest, ObliviousIsAPermutation) {
+  sim::Rng rng(9);
+  auto original = ZipfWeights(6, 1.0);
+  auto assigned = AssignWeights(original, /*skew_aware=*/false, rng);
+  auto sorted_original = original;
+  auto sorted_assigned = assigned;
+  std::sort(sorted_original.begin(), sorted_original.end());
+  std::sort(sorted_assigned.begin(), sorted_assigned.end());
+  EXPECT_EQ(sorted_original, sorted_assigned);
+}
+
+TEST(AssignWeightsTest, ObliviousShufflesEventually) {
+  // Over several draws the permutation must differ from identity at least
+  // once (probabilistic but deterministic under the fixed seed).
+  sim::Rng rng(11);
+  auto original = ZipfWeights(8, 1.2);
+  bool differs = false;
+  for (int i = 0; i < 10 && !differs; ++i) {
+    differs = AssignWeights(original, false, rng) != original;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// -------------------------------------------------------------- integration
+
+SystemConfig SkewConfig(double theta, bool aware) {
+  SystemConfig cfg;
+  cfg.num_pes = 20;
+  cfg.strategy = strategies::PmuCpuLUM();
+  cfg.strategy.skew_aware_assignment = aware;
+  cfg.join_query.redistribution_skew = theta;
+  cfg.join_query.arrival_rate_per_pe_qps = 0.15;
+  cfg.warmup_ms = 1000.0;
+  cfg.measurement_ms = 8000.0;
+  return cfg;
+}
+
+TEST(SkewIntegrationTest, SkewIncreasesResponseTime) {
+  Cluster uniform(SkewConfig(0.0, false));
+  MetricsReport base = uniform.Run();
+  Cluster skewed(SkewConfig(1.0, false));
+  MetricsReport skew = skewed.Run();
+  ASSERT_GT(base.joins_completed, 0);
+  ASSERT_GT(skew.joins_completed, 0);
+  // The largest subjoin dominates the response time.
+  EXPECT_GT(skew.join_rt_ms, base.join_rt_ms);
+}
+
+TEST(SkewIntegrationTest, SkewAwareAssignmentHelpsUnderSkew) {
+  Cluster oblivious(SkewConfig(1.0, false));
+  MetricsReport without = oblivious.Run();
+  Cluster aware(SkewConfig(1.0, true));
+  MetricsReport with = aware.Run();
+  ASSERT_GT(without.joins_completed, 0);
+  ASSERT_GT(with.joins_completed, 0);
+  EXPECT_LT(with.join_rt_ms, without.join_rt_ms);
+}
+
+TEST(SkewIntegrationTest, NoSkewRunsUnchangedByAwarenessFlag) {
+  // With theta = 0 the flag must not alter the simulation at all (same RNG
+  // stream, same deterministic results).
+  Cluster a(SkewConfig(0.0, false));
+  MetricsReport ra = a.Run();
+  Cluster b(SkewConfig(0.0, true));
+  MetricsReport rb = b.Run();
+  EXPECT_DOUBLE_EQ(ra.join_rt_ms, rb.join_rt_ms);
+  EXPECT_EQ(ra.joins_completed, rb.joins_completed);
+}
+
+TEST(SkewIntegrationTest, StrategyNameCarriesSuffix) {
+  StrategyConfig s = strategies::OptIOCpu();
+  s.skew_aware_assignment = true;
+  EXPECT_EQ(s.Name(), "OPT-IO-CPU (skew-aware)");
+  StrategyConfig iso = strategies::PmuCpuLUM();
+  iso.skew_aware_assignment = true;
+  EXPECT_EQ(iso.Name(), "p_mu-cpu + LUM (skew-aware)");
+}
+
+TEST(SkewIntegrationTest, ValidateRejectsNegativeTheta) {
+  SystemConfig cfg;
+  cfg.join_query.redistribution_skew = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.join_query.redistribution_skew = 5.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+}  // namespace
+}  // namespace pdblb

@@ -1,0 +1,150 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Property tests over the whole strategy family: for every policy and a
+// fuzzed population of control-node states, the produced plan must satisfy
+// the planner invariants.  Parameterized (TEST_P) over all strategies.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/control_node.h"
+#include "core/strategies.h"
+#include "simkern/rng.h"
+
+namespace pdblb {
+namespace {
+
+std::vector<StrategyConfig> AllStrategies() {
+  std::vector<StrategyConfig> all = {
+      strategies::PsuOptRandom(),   strategies::PsuOptLUC(),
+      strategies::PsuOptLUM(),      strategies::PsuNoIORandom(),
+      strategies::PsuNoIOLUC(),     strategies::PsuNoIOLUM(),
+      strategies::PmuCpuRandom(),   strategies::PmuCpuLUM(),
+      strategies::RateMatchRandom(), strategies::RateMatchLUC(),
+      strategies::RateMatchLUM(),   strategies::MinIO(),
+      strategies::MinIOSuOpt(),     strategies::OptIOCpu(),
+  };
+  // The skew-aware flag must not alter any planning invariant.
+  StrategyConfig skew_aware = strategies::OptIOCpu();
+  skew_aware.skew_aware_assignment = true;
+  all.push_back(skew_aware);
+  return all;
+}
+
+class StrategyPropertyTest : public testing::TestWithParam<StrategyConfig> {};
+
+TEST_P(StrategyPropertyTest, PlanInvariantsUnderFuzzedStates) {
+  const StrategyConfig& config = GetParam();
+  auto policy = LoadBalancingPolicy::Create(config);
+  ASSERT_NE(policy, nullptr);
+
+  sim::Rng fuzz(12345);
+  sim::Rng plan_rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    int n = static_cast<int>(fuzz.UniformInt(2, 80));
+    ControlNode control(n, /*adaptive_feedback=*/trial % 2 == 0);
+    for (PeId pe = 0; pe < n; ++pe) {
+      control.Report(pe, fuzz.Uniform(),
+                     static_cast<int>(fuzz.UniformInt(0, 60)),
+                     fuzz.Uniform());
+    }
+    JoinPlanRequest req;
+    req.num_pes = n;
+    req.psu_opt = static_cast<int>(fuzz.UniformInt(1, n));
+    req.psu_noio = static_cast<int>(fuzz.UniformInt(1, n));
+    req.hash_table_pages = fuzz.UniformInt(1, 2000);
+    req.scan_rate_tps = fuzz.Uniform(100.0, 50000.0);
+    req.join_rate_tps = fuzz.Uniform(100.0, 50000.0);
+
+    JoinPlan plan = policy->Plan(req, control, plan_rng);
+
+    // Degree within bounds and consistent with the PE list.
+    EXPECT_GE(plan.degree, 1) << config.Name() << " trial " << trial;
+    EXPECT_LE(plan.degree, n) << config.Name() << " trial " << trial;
+    ASSERT_EQ(static_cast<int>(plan.pes.size()), plan.degree);
+
+    // All PEs distinct and valid.
+    std::set<PeId> distinct(plan.pes.begin(), plan.pes.end());
+    EXPECT_EQ(static_cast<int>(distinct.size()), plan.degree);
+    for (PeId pe : plan.pes) {
+      EXPECT_GE(pe, 0);
+      EXPECT_LT(pe, n);
+    }
+
+    // The working-space target covers the hash table.
+    EXPECT_GE(static_cast<int64_t>(plan.pages_per_pe) * plan.degree,
+              req.hash_table_pages);
+  }
+}
+
+TEST_P(StrategyPropertyTest, NameIsStableAndNonEmpty) {
+  auto policy = LoadBalancingPolicy::Create(GetParam());
+  EXPECT_FALSE(policy->Name().empty());
+  EXPECT_EQ(policy->Name(), policy->Name());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyPropertyTest, testing::ValuesIn(AllStrategies()),
+    [](const testing::TestParamInfo<StrategyConfig>& info) {
+      std::string name = info.param.Name();
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name + "_" + std::to_string(info.index);
+    });
+
+/// Integrated no-I/O strategies: whenever *some* selection avoids temporary
+/// file I/O, the plan must actually avoid it (min-free * degree >= need).
+class NoIoGuaranteeTest : public testing::TestWithParam<StrategyConfig> {};
+
+TEST_P(NoIoGuaranteeTest, AvoidsTempIoWheneverFeasible) {
+  auto policy = LoadBalancingPolicy::Create(GetParam());
+  sim::Rng fuzz(999);
+  sim::Rng plan_rng(55);
+  int feasible_cases = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    int n = static_cast<int>(fuzz.UniformInt(2, 40));
+    ControlNode control(n, false);
+    for (PeId pe = 0; pe < n; ++pe) {
+      // Low CPU so OPT-IO-CPU's p_mu-cpu cap stays at p_su-opt = n.
+      control.Report(pe, 0.0, static_cast<int>(fuzz.UniformInt(0, 50)), 0.0);
+    }
+    JoinPlanRequest req;
+    req.num_pes = n;
+    req.psu_opt = n;
+    req.psu_noio = 1;
+    req.hash_table_pages = fuzz.UniformInt(1, 600);
+
+    auto avail = control.AvailMemorySorted();
+    bool feasible =
+        internal::MinNoIoDegree(avail, req.hash_table_pages, n) > 0;
+    if (!feasible) continue;
+    ++feasible_cases;
+
+    JoinPlan plan = policy->Plan(req, control, plan_rng);
+    int64_t min_free = avail[static_cast<size_t>(plan.degree) - 1]
+                           .free_memory_pages;  // LUM = top-k of this order
+    EXPECT_GE(min_free * plan.degree, req.hash_table_pages)
+        << GetParam().Name() << " trial " << trial;
+  }
+  EXPECT_GT(feasible_cases, 50);  // the fuzz actually exercised the property
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Integrated, NoIoGuaranteeTest,
+    testing::Values(strategies::MinIO(), strategies::MinIOSuOpt(),
+                    strategies::OptIOCpu()),
+    [](const testing::TestParamInfo<StrategyConfig>& info) {
+      std::string name = info.param.Name();
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace pdblb
