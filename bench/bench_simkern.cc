@@ -1,0 +1,192 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Raw discrete-event kernel throughput: how many scheduler events per second
+// can the simkern dispatch?  Every figure bench runs millions of these, so
+// this is the repo-wide hot path.  Scenarios:
+//
+//   TimerChurn          N coroutines looping on staggered Delay()s
+//   CallbackChurn       self-rescheduling ScheduleCallback() chains
+//   ZeroDelayPingPong   Delay(0) chains (same-timestamp FIFO fast path)
+//   ResourceContention  M clients hammering a k-server FCFS resource
+//   WhenAllFanout       repeated fork/join over F child tasks
+//
+// Each benchmark reports items/sec where one item is one dispatched
+// scheduler event (the difference of Scheduler::events_processed() across
+// the timed region), so numbers are comparable across kernel rewrites.
+//
+//   PDBLB_BENCH_FAST=1   shrink the event counts (CI smoke runs)
+//
+// Writing the JSON trajectory file:
+//   bench_simkern --benchmark_out=BENCH_simkern.json --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "simkern/resource.h"
+#include "simkern/rng.h"
+#include "simkern/scheduler.h"
+#include "simkern/task.h"
+
+namespace pdblb::sim {
+namespace {
+
+bool FastMode() {
+  const char* env = std::getenv("PDBLB_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+int64_t EventTarget() { return FastMode() ? 200'000 : 2'000'000; }
+
+// --- TimerChurn -----------------------------------------------------------
+// N concurrent processes, each sleeping a distinct prime-ish delay so the
+// calendar stays well mixed (no degenerate same-timestamp batches).
+
+Task<> TimerLoop(Scheduler& sched, SimTime period, int64_t rounds) {
+  for (int64_t i = 0; i < rounds; ++i) {
+    co_await sched.Delay(period);
+  }
+}
+
+void BM_TimerChurn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int64_t rounds = EventTarget() / n;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    for (int i = 0; i < n; ++i) {
+      sched.Spawn(TimerLoop(sched, 1.0 + 0.013 * i, rounds));
+    }
+    uint64_t before = sched.events_processed();
+    sched.Run();
+    events += sched.events_processed() - before;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_TimerChurn)->Arg(16)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// --- CallbackChurn --------------------------------------------------------
+// Self-rescheduling callbacks: each dispatch schedules the next link of the
+// chain.  Exercises the callback storage path (the old kernel paid one heap
+// allocation plus several std::function copies per link).
+
+struct CallbackChain {
+  Scheduler* sched;
+  int64_t remaining;
+  SimTime period;
+  void Arm() {
+    sched->ScheduleCallback(sched->Now() + period, [this] {
+      if (--remaining > 0) Arm();
+    });
+  }
+};
+
+void BM_CallbackChurn(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  const int64_t rounds = EventTarget() / chains;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    std::vector<CallbackChain> chain(static_cast<size_t>(chains));
+    for (int i = 0; i < chains; ++i) {
+      chain[i] = CallbackChain{&sched, rounds, 1.0 + 0.007 * i};
+      chain[i].Arm();
+    }
+    uint64_t before = sched.events_processed();
+    sched.Run();
+    events += sched.events_processed() - before;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_CallbackChurn)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// --- ZeroDelayPingPong ----------------------------------------------------
+// Delay(0) re-queues through the calendar at the current timestamp (FIFO
+// fairness), the pattern of latch wake-ups and channel hand-offs.
+
+Task<> ZeroDelayLoop(Scheduler& sched, int64_t rounds) {
+  for (int64_t i = 0; i < rounds; ++i) {
+    co_await sched.Delay(0.0);
+  }
+}
+
+void BM_ZeroDelayPingPong(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int64_t rounds = EventTarget() / n;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    for (int i = 0; i < n; ++i) sched.Spawn(ZeroDelayLoop(sched, rounds));
+    uint64_t before = sched.events_processed();
+    sched.Run();
+    events += sched.events_processed() - before;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_ZeroDelayPingPong)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- ResourceContention ---------------------------------------------------
+// M clients against a k-server FCFS station: acquire, hold, release, repeat.
+// Dominated by suspend/resume through the calendar plus waiter hand-off.
+
+Task<> ResourceClient(Scheduler& sched, Resource& res, SimTime hold,
+                      int64_t rounds) {
+  for (int64_t i = 0; i < rounds; ++i) {
+    co_await res.Use(hold);
+  }
+  (void)sched;
+}
+
+void BM_ResourceContention(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int64_t rounds = EventTarget() / (4 * clients);
+  uint64_t events = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    Resource res(sched, /*servers=*/4, "cpu");
+    for (int i = 0; i < clients; ++i) {
+      sched.Spawn(ResourceClient(sched, res, 0.5 + 0.01 * i, rounds));
+    }
+    uint64_t before = sched.events_processed();
+    sched.Run();
+    events += sched.events_processed() - before;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_ResourceContention)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// --- WhenAllFanout --------------------------------------------------------
+// Fork/join: a parent repeatedly WhenAll()s over F one-delay children (the
+// shape of parallel scan/join subquery execution).
+
+Task<> FanoutParent(Scheduler& sched, int fanout, int64_t rounds) {
+  for (int64_t i = 0; i < rounds; ++i) {
+    std::vector<Task<>> children;
+    children.reserve(static_cast<size_t>(fanout));
+    for (int f = 0; f < fanout; ++f) {
+      children.push_back(TimerLoop(sched, 1.0 + 0.01 * f, 1));
+    }
+    co_await WhenAll(sched, std::move(children));
+  }
+}
+
+void BM_WhenAllFanout(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  const int64_t rounds = EventTarget() / (3 * fanout);
+  uint64_t events = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    sched.Spawn(FanoutParent(sched, fanout, rounds));
+    uint64_t before = sched.events_processed();
+    sched.Run();
+    events += sched.events_processed() - before;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_WhenAllFanout)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pdblb::sim
+
+BENCHMARK_MAIN();
