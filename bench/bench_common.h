@@ -70,7 +70,7 @@ class FigureTable {
     std::printf("\n=== %s ===\n", title_.c_str());
     TextTable t({x_name_, "strategy", "join RT [ms]", "deg", "CPU util",
                  "disk util", "mem util", "temp pg/join", "join QPS",
-                 "OLTP RT [ms]", "OLTP TPS"});
+                 "OLTP RT [ms]", "OLTP TPS", "kern Mev/s"});
     for (const auto& row : rows_) {
       const MetricsReport& r = row.report;
       t.AddRow({row.x_label, row.series, TextTable::Num(r.join_rt_ms, 1),
@@ -83,7 +83,8 @@ class FigureTable {
                 r.oltp_completed > 0 ? TextTable::Num(r.oltp_rt_ms, 1) : "-",
                 r.oltp_completed > 0
                     ? TextTable::Num(r.oltp_throughput_tps, 0)
-                    : "-"});
+                    : "-",
+                TextTable::Num(r.kernel_events_per_sec / 1e6, 1)});
     }
     std::fputs(t.ToString().c_str(), stdout);
     if (const char* csv = std::getenv("PDBLB_BENCH_CSV"); csv != nullptr) {
@@ -102,18 +103,20 @@ class FigureTable {
                  "x,series,join_rt_ms,avg_degree,cpu_util,disk_util,"
                  "mem_util,temp_pages_per_join,join_qps,oltp_rt_ms,"
                  "oltp_tps,scan_rt_ms,update_rt_ms,multiway_rt_ms,"
-                 "lock_waits\n");
+                 "lock_waits,kernel_events,kernel_events_per_sec\n");
     for (const auto& row : rows_) {
       const MetricsReport& r = row.report;
       std::fprintf(f,
                    "%s,\"%s\",%.3f,%.3f,%.4f,%.4f,%.4f,%.2f,%.3f,%.3f,%.3f,"
-                   "%.3f,%.3f,%.3f,%lld\n",
+                   "%.3f,%.3f,%.3f,%lld,%llu,%.0f\n",
                    row.x_label.c_str(), row.series.c_str(), r.join_rt_ms,
                    r.avg_degree, r.cpu_utilization, r.disk_utilization,
                    r.memory_utilization, r.temp_pages_written_per_join,
                    r.join_throughput_qps, r.oltp_rt_ms, r.oltp_throughput_tps,
                    r.scan_rt_ms, r.update_rt_ms, r.multiway_rt_ms,
-                   static_cast<long long>(r.lock_waits));
+                   static_cast<long long>(r.lock_waits),
+                   static_cast<unsigned long long>(r.kernel_events),
+                   r.kernel_events_per_sec);
     }
     std::fclose(f);
   }
@@ -144,6 +147,7 @@ inline void RunPoint(benchmark::State& state, SystemConfig cfg,
     state.counters["oltp_rt_ms"] = report.oltp_rt_ms;
     state.counters["oltp_tps"] = report.oltp_throughput_tps;
   }
+  state.counters["kernel_meps"] = report.kernel_events_per_sec / 1e6;
   FigureTable::Get().Add(FigureRow{series, x, x_label, report});
 }
 

@@ -101,6 +101,47 @@ void BM_CallbackChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_CallbackChurn)->Arg(64)->Unit(benchmark::kMillisecond);
 
+// --- CallbackChurnCtx -----------------------------------------------------
+// Same chain shape, but each callback carries 40 bytes of captured context
+// (several pointers/ids, the size of a realistic completion callback).
+// This exceeds libstdc++'s 16-byte std::function small-buffer, so a
+// type-erasing kernel pays one heap allocation per link; the slab's inline
+// cells do not.
+
+struct ContextLink {
+  Scheduler* sched;
+  int64_t remaining;
+  SimTime period;
+  uint64_t context[2];  // stand-in for txn id / page id / operator state
+
+  void operator()() {
+    benchmark::DoNotOptimize(context[0] += context[1]);
+    if (--remaining > 0) {
+      sched->ScheduleCallback(sched->Now() + period, *this);
+    }
+  }
+};
+static_assert(sizeof(ContextLink) == 40);
+
+void BM_CallbackChurnCtx(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  const int64_t rounds = EventTarget() / chains;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    for (int i = 0; i < chains; ++i) {
+      sched.ScheduleCallback(
+          1.0 + 0.007 * i,
+          ContextLink{&sched, rounds, 1.0 + 0.007 * i, {uint64_t(i), 1}});
+    }
+    uint64_t before = sched.events_processed();
+    sched.Run();
+    events += sched.events_processed() - before;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_CallbackChurnCtx)->Arg(64)->Unit(benchmark::kMillisecond);
+
 // --- ZeroDelayPingPong ----------------------------------------------------
 // Delay(0) re-queues through the calendar at the current timestamp (FIFO
 // fairness), the pattern of latch wake-ups and channel hand-offs.

@@ -3,6 +3,7 @@
 #include "engine/cluster.h"
 
 #include <cassert>
+#include <chrono>
 
 #include "common/logging.h"
 #include "engine/join_executor.h"
@@ -38,9 +39,11 @@ Cluster::Cluster(const SystemConfig& config)
                                                        shared_disks_.get()));
   }
   db_ = std::make_unique<Database>(config_);
-  net_ = std::make_unique<Network>(
-      sched_, config_.network, config_.costs, config_.mips_per_pe,
-      [this](PeId pe) -> sim::Resource& { return pes_[pe]->cpu(); });
+  std::vector<sim::Resource*> pe_cpus;
+  pe_cpus.reserve(pes_.size());
+  for (auto& pe : pes_) pe_cpus.push_back(&pe->cpu());
+  net_ = std::make_unique<Network>(sched_, config_.network, config_.costs,
+                                   config_.mips_per_pe, std::move(pe_cpus));
   control_ = std::make_unique<ControlNode>(config_.num_pes,
                                            config_.adaptive_selection_feedback);
   cost_model_ = std::make_unique<CostModel>(config_);
@@ -234,6 +237,7 @@ MetricsReport Cluster::Run() {
   assert(!ran_ && "Cluster::Run may be called once");
   ran_ = true;
 
+  auto wall_start = std::chrono::steady_clock::now();
   SpawnBackground();
   SimTime measure_start = 0.0;
   SimTime measure_end = 0.0;
@@ -262,6 +266,16 @@ MetricsReport Cluster::Run() {
   MetricsReport report = Collect(measure_start, measure_end);
   sched_.RequestShutdown();
   sched_.Run();  // drain in-flight work; generators observe the shutdown
+
+  report.kernel_events = sched_.events_processed();
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.kernel_events_per_sec =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.kernel_events) / report.wall_seconds
+          : 0.0;
   return report;
 }
 

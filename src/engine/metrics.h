@@ -143,6 +143,14 @@ struct MetricsReport {
   int64_t deadlock_aborts = 0;
 
   double measurement_seconds = 0.0;
+
+  // Simulation-kernel throughput for the whole run (diagnostics).
+  // `kernel_events` is deterministic per seed; `kernel_events_per_sec`
+  // divides by wall-clock time and therefore varies run to run — it must
+  // not take part in determinism comparisons.
+  uint64_t kernel_events = 0;
+  double wall_seconds = 0.0;
+  double kernel_events_per_sec = 0.0;
 };
 
 }  // namespace pdblb

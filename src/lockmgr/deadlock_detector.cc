@@ -3,7 +3,6 @@
 #include "lockmgr/deadlock_detector.h"
 
 #include <algorithm>
-#include <functional>
 #include <map>
 #include <set>
 
@@ -24,43 +23,58 @@ std::vector<TxnId> DeadlockDetector::FindCycleVictims(
   std::vector<TxnId> victims;
   std::set<TxnId> removed;  // victims already chosen: break their cycles
 
-  // Iterative DFS with colors; on finding a back edge, pick the youngest
-  // (largest id) transaction on the cycle as victim, remove it, restart.
+  // Iterative color DFS with an explicit frame stack (no recursion, no
+  // heap-allocated std::function); on finding a back edge, pick the
+  // youngest (largest id) transaction on the cycle as victim, remove it,
+  // restart.
+  struct Frame {
+    TxnId u;
+    const std::vector<TxnId>* children;  // nullptr: u has no outgoing edges
+    size_t next = 0;
+  };
+  std::vector<Frame> frames;
+  std::vector<TxnId> stack_path;  // gray nodes in visitation order
+
+  auto push_node = [&](TxnId u, std::map<TxnId, int>& color) {
+    color[u] = 1;  // gray
+    stack_path.push_back(u);
+    auto it = adj.find(u);
+    frames.push_back(Frame{u, it != adj.end() ? &it->second : nullptr});
+  };
+
   bool changed = true;
   while (changed) {
     changed = false;
     std::map<TxnId, int> color;  // 0 white, 1 gray, 2 black
-    std::vector<TxnId> stack_path;
-
-    std::function<bool(TxnId)> dfs = [&](TxnId u) -> bool {
-      color[u] = 1;
-      stack_path.push_back(u);
-      auto it = adj.find(u);
-      if (it != adj.end()) {
-        for (TxnId v : it->second) {
-          if (removed.count(v) || removed.count(u)) continue;
-          if (color[v] == 1) {
-            // Cycle: everything from v to the top of stack_path.
-            auto pos = std::find(stack_path.begin(), stack_path.end(), v);
-            TxnId victim = *std::max_element(pos, stack_path.end());
-            victims.push_back(victim);
-            removed.insert(victim);
-            return true;  // restart detection without the victim
-          }
-          if (color[v] == 0 && dfs(v)) return true;
-        }
-      }
-      color[u] = 2;
-      stack_path.pop_back();
-      return false;
-    };
 
     for (const auto& [txn, _] : adj) {
       if (removed.count(txn) || color[txn] != 0) continue;
-      if (dfs(txn)) {
-        changed = true;
-        break;
+      frames.clear();
+      stack_path.clear();
+      push_node(txn, color);
+
+      while (!frames.empty() && !changed) {
+        Frame& f = frames.back();
+        if (f.children == nullptr || f.next >= f.children->size()) {
+          color[f.u] = 2;  // black
+          stack_path.pop_back();
+          frames.pop_back();
+          continue;
+        }
+        TxnId v = (*f.children)[f.next++];
+        if (removed.count(v) || removed.count(f.u)) continue;
+        if (color[v] == 1) {
+          // Cycle: everything from v to the top of stack_path.
+          auto pos = std::find(stack_path.begin(), stack_path.end(), v);
+          TxnId victim = *std::max_element(pos, stack_path.end());
+          victims.push_back(victim);
+          removed.insert(victim);
+          changed = true;  // restart detection without the victim
+        } else if (color[v] == 0) {
+          push_node(v, color);
+        }
       }
+      if (changed) break;
     }
   }
   return victims;

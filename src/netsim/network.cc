@@ -8,9 +8,9 @@ namespace pdblb {
 
 Network::Network(sim::Scheduler& sched, const NetworkConfig& net_config,
                  const CpuCosts& costs, double mips,
-                 std::function<sim::Resource&(PeId)> cpu_of)
+                 std::vector<sim::Resource*> cpus)
     : sched_(sched), config_(net_config), costs_(costs), mips_(mips),
-      cpu_of_(std::move(cpu_of)) {}
+      cpus_(std::move(cpus)) {}
 
 int64_t Network::PacketsFor(int64_t bytes) const {
   if (bytes <= 0) return 1;
@@ -26,7 +26,7 @@ sim::Task<> Network::Transfer(PeId src, PeId dst, int64_t bytes) {
   bytes_sent_ += bytes;
 
   // Sender-side CPU: message setup plus one buffer copy per packet.
-  co_await cpu_of_(src).Use(InstructionsToMs(
+  co_await cpus_[src]->Use(InstructionsToMs(
       costs_.send_message + costs_.copy_message * packets, mips_));
 
   // Wire latency (store-and-forward across packets).
@@ -34,7 +34,7 @@ sim::Task<> Network::Transfer(PeId src, PeId dst, int64_t bytes) {
                         static_cast<double>(packets));
 
   // Receiver-side CPU.
-  co_await cpu_of_(dst).Use(InstructionsToMs(
+  co_await cpus_[dst]->Use(InstructionsToMs(
       costs_.receive_message + costs_.copy_message * packets, mips_));
 }
 

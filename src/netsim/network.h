@@ -12,7 +12,7 @@
 #define PDBLB_NETSIM_NETWORK_H_
 
 #include <cstdint>
-#include <functional>
+#include <vector>
 
 #include "common/config.h"
 #include "common/units.h"
@@ -25,11 +25,13 @@ namespace pdblb {
 /// Packetized point-to-point message transport.
 class Network {
  public:
-  /// `cpu_of` maps a PE id to its CPU resource; the network charges the
-  /// paper's send/receive/copy instruction counts there.
+  /// `cpus[pe]` is PE `pe`'s CPU resource; the network charges the paper's
+  /// send/receive/copy instruction counts there.  A flat table instead of a
+  /// callback: endpoint lookup on the per-message hot path is one indexed
+  /// load, with no type-erased indirection.
   Network(sim::Scheduler& sched, const NetworkConfig& net_config,
           const CpuCosts& costs, double mips,
-          std::function<sim::Resource&(PeId)> cpu_of);
+          std::vector<sim::Resource*> cpus);
 
   /// Transfers `bytes` from `src` to `dst` as one logical message:
   ///   sender CPU:   send_message + copy_message * packets
@@ -56,7 +58,7 @@ class Network {
   NetworkConfig config_;
   CpuCosts costs_;
   double mips_;
-  std::function<sim::Resource&(PeId)> cpu_of_;
+  std::vector<sim::Resource*> cpus_;
 
   int64_t messages_sent_ = 0;
   int64_t packets_sent_ = 0;

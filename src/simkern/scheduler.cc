@@ -2,49 +2,168 @@
 
 #include "simkern/scheduler.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "simkern/latch.h"
 
 namespace pdblb::sim {
 
-void Scheduler::ScheduleHandle(SimTime at, std::coroutine_handle<> handle) {
-  assert(at >= now_);
-  queue_.push(Event{at, next_seq_++, handle, nullptr});
+Scheduler::~Scheduler() {
+  // Destroy (without running) any callbacks still sitting in the calendar.
+  // Pending coroutine frames are owned by their Task handles (or are
+  // detached and intentionally leak, exactly as before the slab existed).
+  for (const Event& e : heap_) DestroyPendingCallback(e);
+  for (size_t i = 0; i < ring_size_; ++i) {
+    DestroyPendingCallback(ring_[(ring_head_ + i) & (ring_.size() - 1)]);
+  }
 }
 
-void Scheduler::ScheduleCallback(SimTime at, std::function<void()> fn) {
-  assert(at >= now_);
-  queue_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+void Scheduler::DestroyPendingCallback(const Event& event) {
+  if ((event.h & 1u) == 0) return;
+  CallbackCell& cell = CellAt(static_cast<uint32_t>(event.h >> 1));
+  cell.op(cell.storage, /*invoke=*/false);
 }
 
-void Scheduler::Spawn(Task<> task) {
-  auto handle = task.Detach();
-  ScheduleHandle(now_, handle);
+void Scheduler::GrowCellSlab() {
+  uint32_t base = static_cast<uint32_t>(cell_chunks_.size() * kCellsPerChunk);
+  cell_chunks_.push_back(std::make_unique<CallbackCell[]>(kCellsPerChunk));
+  // Reserve for every cell ever handed out: all of them can be in flight
+  // simultaneously, and their completions push back onto this free list.
+  free_cells_.reserve(cell_chunks_.size() * kCellsPerChunk);
+  // Hand out low indices first (cosmetic: keeps early cells hot in cache).
+  for (uint32_t i = 0; i < kCellsPerChunk; ++i) {
+    free_cells_.push_back(base + (kCellsPerChunk - 1 - i));
+  }
 }
 
-void Scheduler::Dispatch(Event& event) {
+void Scheduler::RunCallbackCell(uint32_t idx) {
+  // Chunk storage is stable, so the reference survives callbacks that
+  // schedule further callbacks (which may grow the slab).  The cell is
+  // recycled only after the callable ran and destroyed itself; a nested
+  // ScheduleCallback can therefore never clobber the executing cell.  The
+  // guard recycles the cell even when the callback throws (push_back onto
+  // reserved capacity cannot throw).
+  CallbackCell& cell = CellAt(idx);
+  struct Guard {
+    Scheduler* sched;
+    uint32_t idx;
+    ~Guard() { sched->free_cells_.push_back(idx); }
+  } guard{this, idx};
+  cell.op(cell.storage, /*invoke=*/true);
+}
+
+void Scheduler::SiftUp(size_t i) {
+  Event e = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) >> 1;
+    if (!Precedes(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+Scheduler::Event Scheduler::HeapPop() {
+  Event top = heap_[0];
+  const size_t n = heap_.size() - 1;
+  Event last = heap_[n];
+  heap_.pop_back();
+  if (n > 0) {
+    // Bottom-up deletion: walk the hole from the root to a leaf, always
+    // promoting the smaller child (branchless select), then bubble the
+    // former last leaf up from there.  This removes the unpredictable
+    // early-exit test against the relocated leaf at every level — the
+    // classic __adjust_heap trick, applied to trivially-copyable 24-byte
+    // events.  (4-ary layouts, with and without branchless tournaments,
+    // measured slower on bench_simkern; see the simkern README.)
+    size_t hole = 0;
+    size_t child = 1;
+    while (child < n) {
+      // The walk is a serial chain of data-dependent loads; pulling the
+      // grandchildren's cache lines in early hides most of that latency.
+      size_t grandchild = 4 * child + 3;
+      if (grandchild + 4 < n) {
+        const Event* base = heap_.data();
+        __builtin_prefetch(base + grandchild);
+        __builtin_prefetch(base + grandchild + 4);
+      }
+      child += static_cast<size_t>(child + 1 < n &&
+                                   Precedes(heap_[child + 1], heap_[child]));
+      heap_[hole] = heap_[child];
+      hole = child;
+      child = 2 * hole + 1;
+    }
+    while (hole > 0) {
+      size_t parent = (hole - 1) >> 1;
+      if (!Precedes(last, heap_[parent])) break;
+      heap_[hole] = heap_[parent];
+      hole = parent;
+    }
+    heap_[hole] = last;
+  }
+  return top;
+}
+
+void Scheduler::RingPush(const Event& e) {
+  if (ring_size_ == ring_.size()) RingGrow();
+  ring_[(ring_head_ + ring_size_) & (ring_.size() - 1)] = e;
+  ++ring_size_;
+}
+
+void Scheduler::RingGrow() {
+  size_t cap = ring_.empty() ? 64 : ring_.size() * 2;
+  std::vector<Event> grown(cap);
+  for (size_t i = 0; i < ring_size_; ++i) {
+    grown[i] = ring_[(ring_head_ + i) & (ring_.size() - 1)];
+  }
+  ring_ = std::move(grown);
+  ring_head_ = 0;
+}
+
+void Scheduler::Reserve(size_t events, size_t callbacks) {
+  heap_.reserve(events);
+  while (ring_.size() < events) RingGrow();
+  while (cell_chunks_.size() * kCellsPerChunk < callbacks) GrowCellSlab();
+}
+
+bool Scheduler::PopNext(Event* out, SimTime until) {
+  // The ring holds events at exactly Now(); heap entries at the same time
+  // can only be older (smaller seq) arrivals, so one comparison restores
+  // global FIFO order across the two structures.
+  if (ring_size_ > 0) {
+    const Event& front = ring_[ring_head_];
+    if (heap_.empty() || !Precedes(heap_[0], front)) {
+      if (front.at > until) return false;
+      *out = RingPop();
+      return true;
+    }
+  }
+  if (heap_.empty() || heap_[0].at > until) return false;
+  *out = HeapPop();
+  return true;
+}
+
+void Scheduler::Dispatch(const Event& event) {
   now_ = event.at;
   ++events_processed_;
-  if (event.handle) {
-    event.handle.resume();
-  } else if (event.callback) {
-    event.callback();
+  if ((event.h & 1u) == 0) {
+    std::coroutine_handle<>::from_address(reinterpret_cast<void*>(event.h))
+        .resume();
+  } else {
+    RunCallbackCell(static_cast<uint32_t>(event.h >> 1));
   }
 }
 
 void Scheduler::Run() {
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
-    Dispatch(event);
-  }
+  constexpr SimTime kForever = std::numeric_limits<SimTime>::infinity();
+  Event event;
+  while (PopNext(&event, kForever)) Dispatch(event);
 }
 
 void Scheduler::RunUntil(SimTime until) {
-  while (!queue_.empty() && queue_.top().at <= until) {
-    Event event = queue_.top();
-    queue_.pop();
-    Dispatch(event);
-  }
+  Event event;
+  while (PopNext(&event, until)) Dispatch(event);
   if (now_ < until) now_ = until;
 }
 

@@ -4,15 +4,39 @@
 // which resumes a suspended coroutine or invokes a callback.  Events with
 // equal timestamps are processed in FIFO insertion order (stable via a
 // sequence number), which makes every simulation run fully deterministic.
+//
+// Hot-path design (see src/simkern/README.md for the full story):
+//  * An event is a 24-byte POD {at, seq, handle_bits}.  Callbacks are not
+//    stored in the calendar; they live in a side slab of fixed-size cells
+//    and the event carries a tagged cell index (low bit 1).  Coroutine
+//    handles are stored as their address (low bit 0 — frames are aligned).
+//  * The calendar is a compact index-based binary min-heap over those PODs
+//    with bottom-up deletion and branchless child selection: no per-node
+//    allocation, trivially-copyable sifts, `Reserve()` for pre-sizing.
+//    (A bucketed calendar queue was prototyped and benchmarked; it lost to
+//    the compact heap on every scenario of bench_simkern — see the simkern
+//    README for the numbers.)
+//  * Events scheduled at exactly the current time (zero delays, latch and
+//    channel wake-ups) bypass the heap through a FIFO ring buffer; the
+//    dispatch loop merges ring and heap by sequence number, so same-time
+//    FIFO semantics are preserved while the common wake-up costs O(1).
+//  * Callback cells are recycled through a free list and store small
+//    callables inline (small-buffer optimization), and coroutine frames
+//    are recycled through a size-bucketed arena (task.h), so steady-state
+//    dispatch performs no heap allocations per event.
 
 #ifndef PDBLB_SIMKERN_SCHEDULER_H_
 #define PDBLB_SIMKERN_SCHEDULER_H_
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -26,19 +50,61 @@ class Scheduler {
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
 
   /// Current simulated time in milliseconds.
   SimTime Now() const { return now_; }
 
   /// Schedules `handle` to be resumed at absolute time `at` (>= Now()).
-  void ScheduleHandle(SimTime at, std::coroutine_handle<> handle);
+  void ScheduleHandle(SimTime at, std::coroutine_handle<> handle) {
+    assert(handle);
+    PushEvent(at, reinterpret_cast<uint64_t>(handle.address()));
+  }
 
-  /// Schedules `fn` to run at absolute time `at` (>= Now()).
-  void ScheduleCallback(SimTime at, std::function<void()> fn);
+  /// Schedules `fn` to run at absolute time `at` (>= Now()).  Callables up
+  /// to kInlineCallbackBytes are stored inline in a recycled cell (no heap
+  /// allocation); larger ones fall back to the heap.
+  template <typename F>
+  void ScheduleCallback(SimTime at, F&& fn) {
+    using Fn = std::decay_t<F>;
+    uint32_t idx = AllocCell();
+    CallbackCell& cell = CellAt(idx);
+    try {
+      if constexpr (sizeof(Fn) <= kInlineCallbackBytes &&
+                    alignof(Fn) <= alignof(std::max_align_t)) {
+        ::new (static_cast<void*>(cell.storage)) Fn(std::forward<F>(fn));
+        cell.op = [](void* storage, bool invoke) {
+          Fn* f = std::launder(reinterpret_cast<Fn*>(storage));
+          // Destroy even if the invocation throws.
+          struct Guard {
+            Fn* f;
+            ~Guard() { f->~Fn(); }
+          } guard{f};
+          if (invoke) (*f)();
+        };
+      } else {
+        Fn* boxed = new Fn(std::forward<F>(fn));
+        std::memcpy(cell.storage, &boxed, sizeof(boxed));
+        cell.op = [](void* storage, bool invoke) {
+          Fn* f;
+          std::memcpy(&f, storage, sizeof(f));
+          struct Guard {
+            Fn* f;
+            ~Guard() { delete f; }
+          } guard{f};
+          if (invoke) (*f)();
+        };
+      }
+    } catch (...) {
+      free_cells_.push_back(idx);  // reserved capacity: cannot throw
+      throw;
+    }
+    PushEvent(at, (static_cast<uint64_t>(idx) << 1) | 1u);
+  }
 
   /// Starts a detached simulation process at the current time.  The frame
   /// self-destroys on completion.
-  void Spawn(Task<> task);
+  void Spawn(Task<> task) { ScheduleHandle(now_, task.Detach()); }
 
   /// Awaitable that suspends the current process for `delta` milliseconds.
   /// A zero delay still yields through the event queue (FIFO fairness).
@@ -63,6 +129,10 @@ class Scheduler {
   /// `until`.  Later events remain queued.
   void RunUntil(SimTime until);
 
+  /// Pre-sizes the calendar (and optionally the callback slab) so a run
+  /// with at most `events` concurrently pending events allocates nothing.
+  void Reserve(size_t events, size_t callbacks = 0);
+
   /// Signals cooperative shutdown: long-running generator processes are
   /// expected to poll ShuttingDown() after each wait and terminate.
   void RequestShutdown() { shutting_down_ = true; }
@@ -70,25 +140,90 @@ class Scheduler {
 
   /// Number of events processed since construction (diagnostics).
   uint64_t events_processed() const { return events_processed_; }
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const { return heap_.size() + ring_size_; }
 
  private:
+  // One calendar entry.  `h` is a tagged word: coroutine handle address
+  // (low bit 0) or (callback cell index << 1) | 1.
   struct Event {
     SimTime at;
     uint64_t seq;
-    std::coroutine_handle<> handle;     // either handle ...
-    std::function<void()> callback;     // ... or callback is set
+    uint64_t h;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;  // min-heap on time
-      return a.seq > b.seq;                  // FIFO for equal times
+  static_assert(sizeof(Event) == 24, "Event must stay a compact POD");
+  static_assert(std::is_trivially_copyable_v<Event>);
+
+  // Min on time, FIFO (seq) for equal times.  Written as bitwise logic so
+  // the compiler emits setcc/cmov instead of branches: sift comparisons on
+  // random timestamps are ~50/50 and would otherwise mispredict.
+  static bool Precedes(const Event& a, const Event& b) {
+    return (a.at < b.at) | ((a.at == b.at) & (a.seq < b.seq));
+  }
+
+  // --- callback cell slab -------------------------------------------------
+  // Cells are allocated in fixed chunks (stable addresses, no relocation of
+  // live callables) and recycled through a free list.  `op` both invokes
+  // (invoke=true) and destroys, or just destroys (invoke=false, used when
+  // the scheduler is torn down with events still pending).
+  static constexpr size_t kInlineCallbackBytes = 48;
+  static constexpr size_t kCellsPerChunk = 64;
+  struct CallbackCell {
+    void (*op)(void* storage, bool invoke);
+    alignas(std::max_align_t) unsigned char storage[kInlineCallbackBytes];
+  };
+
+  CallbackCell& CellAt(uint32_t idx) {
+    return cell_chunks_[idx / kCellsPerChunk][idx % kCellsPerChunk];
+  }
+  uint32_t AllocCell() {
+    if (free_cells_.empty()) GrowCellSlab();
+    uint32_t idx = free_cells_.back();
+    free_cells_.pop_back();
+    return idx;
+  }
+  void GrowCellSlab();
+
+  // --- calendar -----------------------------------------------------------
+  void PushEvent(SimTime at, uint64_t h) {
+    assert(at >= now_);
+    if (at == now_) {
+      RingPush(Event{at, next_seq_++, h});
+    } else {
+      heap_.push_back(Event{at, next_seq_++, h});
+      SiftUp(heap_.size() - 1);
     }
-  };
+  }
 
-  void Dispatch(Event& event);
+  void SiftUp(size_t i);
+  Event HeapPop();
 
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  // FIFO ring for events at exactly Now().  The ring drains (merged with
+  // same-time heap entries by seq) before simulated time can advance, so
+  // its entries are always at the current timestamp.
+  void RingPush(const Event& e);
+  void RingGrow();
+  Event RingPop() {
+    Event e = ring_[ring_head_];
+    ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+    --ring_size_;
+    return e;
+  }
+
+  // Pops the globally next event if its timestamp is <= `until`.
+  bool PopNext(Event* out, SimTime until);
+
+  void Dispatch(const Event& event);
+  void RunCallbackCell(uint32_t idx);
+  void DestroyPendingCallback(const Event& event);
+
+  std::vector<Event> heap_;  // implicit binary min-heap
+  std::vector<Event> ring_;  // power-of-two capacity FIFO ring
+  size_t ring_head_ = 0;
+  size_t ring_size_ = 0;
+
+  std::vector<std::unique_ptr<CallbackCell[]>> cell_chunks_;
+  std::vector<uint32_t> free_cells_;
+
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;

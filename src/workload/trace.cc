@@ -143,14 +143,4 @@ Trace SynthesizeTrace(uint64_t seed, SimTime horizon_ms, double join_qps,
   return trace;
 }
 
-sim::Task<> ReplayTrace(sim::Scheduler& sched, Trace trace,
-                        std::function<void(const TraceEvent&)> fire) {
-  for (const TraceEvent& event : trace.events()) {
-    if (sched.ShuttingDown()) co_return;
-    SimTime wait = event.arrival_ms - sched.Now();
-    if (wait > 0) co_await sched.Delay(wait);
-    fire(event);
-  }
-}
-
 }  // namespace pdblb

@@ -16,7 +16,6 @@
 #define PDBLB_WORKLOAD_TRACE_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -81,9 +80,18 @@ Trace SynthesizeTrace(uint64_t seed, SimTime horizon_ms,
                       double oltp_tps_per_node);
 
 /// Spawns `fire(event)` at every event's arrival time.  Terminates after
-/// the last event (or at scheduler shutdown).
-sim::Task<> ReplayTrace(sim::Scheduler& sched, Trace trace,
-                        std::function<void(const TraceEvent&)> fire);
+/// the last event (or at scheduler shutdown).  Template over the callback:
+/// `fire` is moved into the coroutine frame, so each dispatched arrival is
+/// a direct call (no std::function indirection on the per-event path).
+template <typename FireFn>
+sim::Task<> ReplayTrace(sim::Scheduler& sched, Trace trace, FireFn fire) {
+  for (const TraceEvent& event : trace.events()) {
+    if (sched.ShuttingDown()) co_return;
+    SimTime wait = event.arrival_ms - sched.Now();
+    if (wait > 0) co_await sched.Delay(wait);
+    fire(event);
+  }
+}
 
 }  // namespace pdblb
 

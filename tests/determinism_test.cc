@@ -28,6 +28,10 @@ void ExpectIdentical(const MetricsReport& a, const MetricsReport& b) {
   EXPECT_DOUBLE_EQ(a.update_rt_ms, b.update_rt_ms);
   EXPECT_DOUBLE_EQ(a.multiway_rt_ms, b.multiway_rt_ms);
   EXPECT_EQ(a.lock_waits, b.lock_waits);
+  // The kernel event count is part of the deterministic surface: two runs
+  // of the same seed must dispatch exactly the same events.  (Wall-clock
+  // derived fields like kernel_events_per_sec are intentionally excluded.)
+  EXPECT_EQ(a.kernel_events, b.kernel_events);
 }
 
 SystemConfig SmallConfig() {

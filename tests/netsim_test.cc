@@ -26,9 +26,10 @@ struct Fixture {
     for (int i = 0; i < pes; ++i) {
       cpus.push_back(std::make_unique<sim::Resource>(sched, 1, "cpu"));
     }
-    net = std::make_unique<Network>(
-        sched, config, costs, 20.0,
-        [this](PeId pe) -> sim::Resource& { return *cpus[pe]; });
+    std::vector<sim::Resource*> cpu_table;
+    for (auto& cpu : cpus) cpu_table.push_back(cpu.get());
+    net = std::make_unique<Network>(sched, config, costs, 20.0,
+                                    std::move(cpu_table));
   }
 };
 

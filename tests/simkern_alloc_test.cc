@@ -1,0 +1,129 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Verifies the kernel's zero-allocation dispatch guarantee: once a
+// simulation reaches steady state (calendar reserved, callback cells and
+// coroutine frames recycled), dispatching events performs no heap
+// allocations at all.  This lives in its own test binary because it
+// replaces the global operator new/delete to count heap traffic.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "simkern/resource.h"
+#include "simkern/scheduler.h"
+#include "simkern/task.h"
+
+namespace {
+uint64_t g_allocations = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocations;
+  return std::malloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) -
+                                    1) &
+                                       ~(static_cast<std::size_t>(align) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace pdblb::sim {
+namespace {
+
+Task<> TimerLoop(Scheduler& sched, SimTime period, int64_t rounds) {
+  for (int64_t i = 0; i < rounds; ++i) {
+    co_await sched.Delay(period);
+  }
+}
+
+Task<> ZeroDelayLoop(Scheduler& sched, int64_t rounds) {
+  for (int64_t i = 0; i < rounds; ++i) {
+    co_await sched.Delay(0.0);
+  }
+}
+
+Task<> ShortLived(Scheduler& sched) { co_await sched.Delay(0.5); }
+
+// Spawning a child per iteration churns coroutine frames; the frame arena
+// must recycle them without touching the heap.
+Task<> FrameChurnLoop(Scheduler& sched, int64_t rounds) {
+  for (int64_t i = 0; i < rounds; ++i) {
+    co_await ShortLived(sched);
+  }
+}
+
+struct RearmingCallback {
+  Scheduler* sched;
+  int64_t remaining;
+  SimTime period;
+  uint64_t context[2];  // sized like a realistic completion callback
+
+  void operator()() {
+    if (--remaining > 0) {
+      sched->ScheduleCallback(sched->Now() + period, *this);
+    }
+  }
+};
+
+TEST(SchedulerAllocTest, SteadyStateDispatchAllocatesNothing) {
+  Scheduler sched;
+  sched.Reserve(/*events=*/1024, /*callbacks=*/256);
+
+  constexpr int64_t kRounds = 200000;
+  for (int i = 0; i < 16; ++i) {
+    sched.Spawn(TimerLoop(sched, 1.0 + 0.013 * i, kRounds));
+  }
+  for (int i = 0; i < 4; ++i) {
+    sched.Spawn(ZeroDelayLoop(sched, kRounds));
+  }
+  sched.Spawn(FrameChurnLoop(sched, kRounds));
+  sched.ScheduleCallback(1.0,
+                         RearmingCallback{&sched, kRounds, 0.7, {1, 2}});
+
+  // Warm-up: grow the calendar/slab/arena to their steady-state sizes.
+  sched.RunUntil(500.0);
+  uint64_t events_before = sched.events_processed();
+  ASSERT_GT(events_before, 10000u);
+
+  uint64_t allocations_before = g_allocations;
+  sched.RunUntil(5000.0);
+  uint64_t allocations_after = g_allocations;
+  uint64_t dispatched = sched.events_processed() - events_before;
+
+  EXPECT_GT(dispatched, 50000u);
+  EXPECT_EQ(allocations_after - allocations_before, 0u)
+      << "dispatching " << dispatched << " events allocated "
+      << (allocations_after - allocations_before) << " times";
+}
+
+TEST(SchedulerAllocTest, AllocationCounterIsLive) {
+  // Sanity-check the instrumentation itself.
+  uint64_t before = g_allocations;
+  int* p = new int(1);
+  EXPECT_GT(g_allocations, before);
+  delete p;
+}
+
+}  // namespace
+}  // namespace pdblb::sim

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "simkern/channel.h"
@@ -69,6 +72,121 @@ TEST(SchedulerTest, CallbacksRun) {
   sched.ScheduleCallback(4.0, [&] { ++hits; });
   sched.Run();
   EXPECT_EQ(hits, 2);
+}
+
+TEST(SchedulerTest, EqualTimestampFifoAcrossCallbacksAndCoroutines) {
+  // Callbacks scheduled directly at t=5 come first (they draw sequence
+  // numbers at schedule time); the spawned coroutines re-queue themselves
+  // at t=5 only when they start running at t=0, so their sequence numbers
+  // are strictly larger.  The dispatch order must reflect exactly that,
+  // regardless of which internal structure (ring or heap) held each event.
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    if (i % 2 == 0) {
+      sched.ScheduleCallback(5.0, [&order, i] { order.push_back(i); });
+    } else {
+      sched.Spawn(AppendAfter(sched, 5.0, i, &order));
+    }
+  }
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8, 1, 3, 5, 7, 9}));
+}
+
+TEST(SchedulerTest, RunUntilIncludesEventsExactlyAtBoundary) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.Spawn(AppendAfter(sched, 5.0, 1, &order));
+  sched.Spawn(AppendAfter(sched, 5.0 + 1e-9, 2, &order));
+  sched.RunUntil(5.0);
+  EXPECT_EQ(order, (std::vector<int>{1}));  // <= until runs, later stays
+  EXPECT_DOUBLE_EQ(sched.Now(), 5.0);
+  EXPECT_EQ(sched.pending_events(), 1u);
+  sched.RunUntil(5.0);  // idempotent at the same boundary
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerTest, PendingEventsCountsRingAndHeap) {
+  Scheduler sched;
+  sched.ScheduleCallback(0.0, [] {});  // at Now(): ring
+  sched.ScheduleCallback(3.0, [] {});  // future: heap
+  sched.ScheduleCallback(7.0, [] {});
+  EXPECT_EQ(sched.pending_events(), 3u);
+  sched.Run();
+  EXPECT_EQ(sched.pending_events(), 0u);
+  EXPECT_EQ(sched.events_processed(), 3u);
+}
+
+// Dispatching a callback must not copy the callable: it is moved into its
+// storage cell once at schedule time and invoked in place.  (The previous
+// kernel copied the std::function out of priority_queue::top() on every
+// dispatch.)
+struct CopyCountingCallback {
+  static int copies;
+  static int invocations;
+  int payload = 0;
+
+  CopyCountingCallback() = default;
+  CopyCountingCallback(const CopyCountingCallback& other)
+      : payload(other.payload) {
+    ++copies;
+  }
+  CopyCountingCallback(CopyCountingCallback&& other) noexcept
+      : payload(other.payload) {}
+  void operator()() const { ++invocations; }
+};
+int CopyCountingCallback::copies = 0;
+int CopyCountingCallback::invocations = 0;
+
+TEST(SchedulerTest, DispatchDoesNotCopyCallbacks) {
+  CopyCountingCallback::copies = 0;
+  CopyCountingCallback::invocations = 0;
+  Scheduler sched;
+  for (int i = 0; i < 100; ++i) {
+    sched.ScheduleCallback(1.0 + i, CopyCountingCallback{});
+  }
+  sched.Run();
+  EXPECT_EQ(CopyCountingCallback::invocations, 100);
+  EXPECT_EQ(CopyCountingCallback::copies, 0);
+}
+
+TEST(SchedulerTest, LargeCallbacksSurviveTheInlineCellLimit) {
+  // Callables above the inline cell size take a boxed fallback path; they
+  // must still run correctly and destroy cleanly when left pending.
+  Scheduler sched;
+  std::array<uint64_t, 32> big_payload;
+  big_payload.fill(7);
+  uint64_t sum = 0;
+  sched.ScheduleCallback(1.0, [big_payload, &sum] {
+    for (uint64_t v : big_payload) sum += v;
+  });
+  // A second large callable is intentionally left pending at destruction.
+  sched.ScheduleCallback(2.0, [big_payload, &sum] { sum += big_payload[0]; });
+  sched.RunUntil(1.5);
+  EXPECT_EQ(sum, 7u * 32u);
+}
+
+TEST(SchedulerTest, DeterministicEventCountAcrossIdenticalRuns) {
+  auto run_once = [] {
+    Scheduler sched;
+    std::vector<int> order;
+    Rng rng(42);
+    for (int i = 0; i < 50; ++i) {
+      sched.Spawn(AppendAfter(sched, rng.Exponential(3.0), i, &order));
+      if (i % 3 == 0) {
+        sched.ScheduleCallback(rng.Exponential(5.0), [] {});
+      }
+    }
+    sched.Run();
+    return std::pair<uint64_t, std::vector<int>>(sched.events_processed(),
+                                                 order);
+  };
+  auto [events_a, order_a] = run_once();
+  auto [events_b, order_b] = run_once();
+  EXPECT_EQ(events_a, events_b);
+  EXPECT_EQ(order_a, order_b);
 }
 
 Task<> NestedChild(Scheduler& sched, int* state) {
