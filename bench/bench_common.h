@@ -99,16 +99,20 @@ class FigureTable {
       std::fprintf(stderr, "cannot write CSV to %s\n", path.c_str());
       return;
     }
+    // kernel_events dropped with the frameless-awaiter kernel (one event
+    // per contended acquisition instead of two) and kernel_handoffs counts
+    // the calendar-bypassing wake-ups that replaced the rest.
     std::fprintf(f,
                  "x,series,join_rt_ms,avg_degree,cpu_util,disk_util,"
                  "mem_util,temp_pages_per_join,join_qps,oltp_rt_ms,"
                  "oltp_tps,scan_rt_ms,update_rt_ms,multiway_rt_ms,"
-                 "lock_waits,kernel_events,kernel_events_per_sec\n");
+                 "lock_waits,kernel_events,kernel_handoffs,"
+                 "kernel_events_per_sec\n");
     for (const auto& row : rows_) {
       const MetricsReport& r = row.report;
       std::fprintf(f,
                    "%s,\"%s\",%.3f,%.3f,%.4f,%.4f,%.4f,%.2f,%.3f,%.3f,%.3f,"
-                   "%.3f,%.3f,%.3f,%lld,%llu,%.0f\n",
+                   "%.3f,%.3f,%.3f,%lld,%llu,%llu,%.0f\n",
                    row.x_label.c_str(), row.series.c_str(), r.join_rt_ms,
                    r.avg_degree, r.cpu_utilization, r.disk_utilization,
                    r.memory_utilization, r.temp_pages_written_per_join,
@@ -116,6 +120,7 @@ class FigureTable {
                    r.scan_rt_ms, r.update_rt_ms, r.multiway_rt_ms,
                    static_cast<long long>(r.lock_waits),
                    static_cast<unsigned long long>(r.kernel_events),
+                   static_cast<unsigned long long>(r.kernel_handoffs),
                    r.kernel_events_per_sec);
     }
     std::fclose(f);

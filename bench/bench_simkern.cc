@@ -8,11 +8,20 @@
 //   CallbackChurn       self-rescheduling ScheduleCallback() chains
 //   ZeroDelayPingPong   Delay(0) chains (same-timestamp FIFO fast path)
 //   ResourceContention  M clients hammering a k-server FCFS resource
+//   ChannelPingPong     two processes bouncing a token over two channels
+//   ChannelStream       producer streaming value bursts to a consumer
 //   WhenAllFanout       repeated fork/join over F child tasks
 //
-// Each benchmark reports items/sec where one item is one dispatched
-// scheduler event (the difference of Scheduler::events_processed() across
-// the timed region), so numbers are comparable across kernel rewrites.
+// The pure dispatch shapes (TimerChurn, CallbackChurn, ZeroDelayPingPong)
+// report items/sec where one item is one dispatched scheduler event.  The
+// blocking-primitive shapes (ResourceContention, ChannelPingPong,
+// ChannelStream, WhenAllFanout) report items/sec where one item is one
+// completed *operation* (acquisition / message / join) — the unit that is
+// invariant across kernel rewrites.  The frameless-awaiter kernel
+// deliberately dispatches fewer calendar events per operation than the
+// PR 1 kernel did, so an event-based rate would hide exactly the
+// improvement these shapes exist to measure; the `events_per_op` counter
+// reports the accounting change explicitly.
 //
 //   PDBLB_BENCH_FAST=1   shrink the event counts (CI smoke runs)
 //
@@ -22,8 +31,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
+#include "simkern/channel.h"
 #include "simkern/resource.h"
 #include "simkern/rng.h"
 #include "simkern/scheduler.h"
@@ -183,6 +194,7 @@ void BM_ResourceContention(benchmark::State& state) {
   const int clients = static_cast<int>(state.range(0));
   const int64_t rounds = EventTarget() / (4 * clients);
   uint64_t events = 0;
+  uint64_t ops = 0;
   for (auto _ : state) {
     Scheduler sched;
     Resource res(sched, /*servers=*/4, "cpu");
@@ -192,10 +204,99 @@ void BM_ResourceContention(benchmark::State& state) {
     uint64_t before = sched.events_processed();
     sched.Run();
     events += sched.events_processed() - before;
+    ops += static_cast<uint64_t>(clients) * static_cast<uint64_t>(rounds);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+  state.counters["events_per_op"] =
+      static_cast<double>(events) / static_cast<double>(ops);
 }
 BENCHMARK(BM_ResourceContention)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// --- ChannelPingPong ------------------------------------------------------
+// Two processes bouncing a token across a pair of channels: every message
+// is a blocked-receiver hand-off, the pattern of operator pipelines with a
+// faster producer than consumer.  One item = one delivered message.
+
+Task<> Pinger(Channel<int>& out, Channel<int>& in, int64_t rounds) {
+  for (int64_t i = 0; i < rounds; ++i) {
+    out.Send(static_cast<int>(i));
+    co_await in.Receive();
+  }
+  out.Close();
+}
+
+Task<> Ponger(Channel<int>& in, Channel<int>& out) {
+  while (auto v = co_await in.Receive()) {
+    out.Send(*v);
+  }
+}
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  const int64_t rounds = EventTarget() / (4 * pairs);
+  uint64_t events = 0;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    std::vector<std::unique_ptr<Channel<int>>> forward, backward;
+    for (int i = 0; i < pairs; ++i) {
+      forward.push_back(std::make_unique<Channel<int>>(sched));
+      backward.push_back(std::make_unique<Channel<int>>(sched));
+      sched.Spawn(Pinger(*forward[i], *backward[i], rounds));
+      sched.Spawn(Ponger(*forward[i], *backward[i]));
+    }
+    uint64_t before = sched.events_processed();
+    sched.Run();
+    events += sched.events_processed() - before;
+    ops += 2 * static_cast<uint64_t>(pairs) * static_cast<uint64_t>(rounds);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+  state.counters["events_per_op"] =
+      static_cast<double>(events) / static_cast<double>(ops);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- ChannelStream --------------------------------------------------------
+// A producer emits bursts of values separated by a unit delay; the consumer
+// drains them.  Mixes buffered values (ring-buffer path) with blocked-
+// receiver wake-ups.  One item = one delivered message.
+
+Task<> BurstProducer(Scheduler& sched, Channel<int>& ch, int64_t bursts,
+                     int burst_size) {
+  for (int64_t i = 0; i < bursts; ++i) {
+    co_await sched.Delay(1.0);
+    for (int k = 0; k < burst_size; ++k) ch.Send(k);
+  }
+  ch.Close();
+}
+
+Task<> Drain(Channel<int>& ch, uint64_t* received) {
+  while (auto v = co_await ch.Receive()) {
+    ++*received;
+  }
+}
+
+void BM_ChannelStream(benchmark::State& state) {
+  const int burst = static_cast<int>(state.range(0));
+  const int64_t bursts = EventTarget() / (2 * burst);
+  uint64_t events = 0;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    Channel<int> ch(sched);
+    uint64_t received = 0;
+    sched.Spawn(Drain(ch, &received));
+    sched.Spawn(BurstProducer(sched, ch, bursts, burst));
+    uint64_t before = sched.events_processed();
+    sched.Run();
+    events += sched.events_processed() - before;
+    ops += received;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+  state.counters["events_per_op"] =
+      static_cast<double>(events) / static_cast<double>(ops);
+}
+BENCHMARK(BM_ChannelStream)->Arg(8)->Unit(benchmark::kMillisecond);
 
 // --- WhenAllFanout --------------------------------------------------------
 // Fork/join: a parent repeatedly WhenAll()s over F one-delay children (the
@@ -216,14 +317,18 @@ void BM_WhenAllFanout(benchmark::State& state) {
   const int fanout = static_cast<int>(state.range(0));
   const int64_t rounds = EventTarget() / (3 * fanout);
   uint64_t events = 0;
+  uint64_t ops = 0;
   for (auto _ : state) {
     Scheduler sched;
     sched.Spawn(FanoutParent(sched, fanout, rounds));
     uint64_t before = sched.events_processed();
     sched.Run();
     events += sched.events_processed() - before;
+    ops += static_cast<uint64_t>(fanout) * static_cast<uint64_t>(rounds);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+  state.counters["events_per_op"] =
+      static_cast<double>(events) / static_cast<double>(ops);
 }
 BENCHMARK(BM_WhenAllFanout)->Arg(32)->Unit(benchmark::kMillisecond);
 

@@ -268,6 +268,7 @@ MetricsReport Cluster::Run() {
   sched_.Run();  // drain in-flight work; generators observe the shutdown
 
   report.kernel_events = sched_.events_processed();
+  report.kernel_handoffs = sched_.inline_resumes();
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

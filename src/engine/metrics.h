@@ -145,10 +145,16 @@ struct MetricsReport {
   double measurement_seconds = 0.0;
 
   // Simulation-kernel throughput for the whole run (diagnostics).
-  // `kernel_events` is deterministic per seed; `kernel_events_per_sec`
-  // divides by wall-clock time and therefore varies run to run — it must
-  // not take part in determinism comparisons.
+  // `kernel_events` counts calendar events and `kernel_handoffs` counts
+  // calendar-bypassing hand-off resumes (channel value hand-offs); since
+  // the frameless-awaiter kernel, a contended Resource::Use dispatches one
+  // calendar event instead of two, so `kernel_events` is markedly lower
+  // than under the PR 1 kernel for the same workload.  Both counters are
+  // deterministic per seed; `kernel_events_per_sec` divides by wall-clock
+  // time and therefore varies run to run — it must not take part in
+  // determinism comparisons.
   uint64_t kernel_events = 0;
+  uint64_t kernel_handoffs = 0;
   double wall_seconds = 0.0;
   double kernel_events_per_sec = 0.0;
 };

@@ -4,13 +4,12 @@
 
 #include <algorithm>
 
+#include "engine/parop.h"
+
 namespace pdblb {
 namespace {
 
-sim::Task<> UseCpu(Cluster& c, PeId pe, int64_t instructions) {
-  return c.pe(pe).cpu().Use(
-      InstructionsToMs(instructions, c.config().mips_per_pe));
-}
+using parop::UseCpu;
 
 /// One execution attempt under strict 2PL; returns false if this txn was
 /// chosen as a deadlock victim while waiting for a lock.

@@ -15,11 +15,6 @@ std::vector<int64_t> SplitEvenly(int64_t total, int parts) {
   return out;
 }
 
-sim::Task<> UseCpu(Cluster& c, PeId pe, int64_t instructions) {
-  return c.pe(pe).cpu().Use(
-      InstructionsToMs(instructions, c.config().mips_per_pe));
-}
-
 sim::Task<> SendBatch(Cluster& c, PeId src, PeId dst, int64_t tuples,
                       int tuple_size, BatchChannel* channel) {
   co_await c.net().Transfer(src, dst, tuples * tuple_size);

@@ -29,8 +29,13 @@ using BatchChannel = sim::Channel<Batch>;
 /// `total` split into `parts` near-equal shares (remainder spread left).
 std::vector<int64_t> SplitEvenly(int64_t total, int parts);
 
-/// Charges `instructions` on `pe`'s CPU server.
-sim::Task<> UseCpu(Cluster& c, PeId pe, int64_t instructions);
+/// Charges `instructions` on `pe`'s CPU server.  Returns the resource's
+/// frameless Use awaiter directly — `co_await UseCpu(...)` suspends the
+/// caller on the CPU's wait queue without an intermediate coroutine frame.
+inline auto UseCpu(Cluster& c, PeId pe, int64_t instructions) {
+  return c.pe(pe).cpu().Use(
+      InstructionsToMs(instructions, c.config().mips_per_pe));
+}
 
 /// Ships one tuple batch over the network, then hands it to the consumer.
 sim::Task<> SendBatch(Cluster& c, PeId src, PeId dst, int64_t tuples,

@@ -6,6 +6,15 @@
 #include <cassert>
 
 namespace pdblb {
+namespace {
+
+// Use() is a frameless awaiter, not a Task; spawning it as a detached
+// group member needs this thin coroutine wrapper.
+sim::Task<> SpawnedUse(sim::Resource& res, SimTime duration) {
+  co_await res.Use(duration);
+}
+
+}  // namespace
 
 DiskArray::DiskArray(sim::Scheduler& sched, const DiskConfig& config,
                      const CpuCosts& costs, double mips, sim::Resource& cpu,
@@ -88,7 +97,8 @@ sim::Task<> DiskArray::ReadStriped(PageKey first, int64_t count) {
       ++cache_hits_;
       ++logical_reads_;
       CacheInsert(page);
-      batches.Spawn(controller_->Use(config_.controller_time_per_page_ms));
+      batches.Spawn(
+          SpawnedUse(*controller_, config_.controller_time_per_page_ms));
       ++i;
       continue;
     }

@@ -8,9 +8,9 @@
 
 #include <cassert>
 #include <coroutine>
-#include <deque>
 #include <optional>
 
+#include "simkern/ring.h"
 #include "simkern/scheduler.h"
 
 namespace pdblb::sim {
@@ -18,9 +18,22 @@ namespace pdblb::sim {
 /// Multi-producer / multi-consumer unbounded channel.
 ///
 /// `Send` never blocks.  `Receive` suspends until a value is available and
-/// returns std::nullopt once the channel is closed and drained.  Consumers
-/// waiting when a value arrives are woken through the event queue, preserving
-/// deterministic FIFO ordering.
+/// returns std::nullopt once the channel is closed and drained.
+///
+/// A consumer blocked in Receive() when a value arrives is woken through
+/// the scheduler's hand-off lane (Scheduler::HandOff): no calendar event,
+/// no sequence number, no allocation — it resumes at the same timestamp as
+/// soon as the producer suspends, so a producer emitting a burst of values
+/// still lets the consumer drain the whole burst in one resumption.
+/// `pending_wakeups_` counts consumers already woken (by hand-off or by
+/// Close): a value may be claimed synchronously in await_ready only when it
+/// is not already promised to one of them, which keeps wake-ups exact and
+/// starvation-free.  Close() broadcasts through the calendar instead — its
+/// waiters keep their FIFO positions relative to other same-time events.
+///
+/// Both the value queue and the waiter queue are recycled ring buffers with
+/// a small inline capacity, so a per-query channel whose queues stay short
+/// never allocates at all.
 template <typename T>
 class Channel {
  public:
@@ -28,11 +41,16 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
-  /// Enqueues a value; wakes one waiting consumer if any.
+  /// Enqueues a value; wakes one waiting consumer (if any) through the
+  /// hand-off lane.
   void Send(T value) {
     assert(!closed_ && "Send on closed channel");
     values_.push_back(std::move(value));
-    WakeOne();
+    if (!waiters_.empty()) {
+      sched_.HandOff(waiters_.front());
+      waiters_.pop_front();
+      ++pending_wakeups_;
+    }
   }
 
   /// Marks the channel closed: waiting and future receivers get nullopt once
@@ -44,7 +62,7 @@ class Channel {
     while (!waiters_.empty()) {
       sched_.ScheduleHandle(sched_.Now(), waiters_.front());
       waiters_.pop_front();
-      ++scheduled_wakeups_;
+      ++pending_wakeups_;
     }
   }
 
@@ -57,10 +75,10 @@ class Channel {
       Channel* ch;
       bool suspended = false;
       bool await_ready() const noexcept {
-        // A value may be claimed synchronously only if no scheduled wakeup
+        // A value may be claimed synchronously only if no in-flight wakeup
         // is counting on it; otherwise a woken consumer would starve.
         if (ch->values_.size() >
-            static_cast<size_t>(ch->scheduled_wakeups_)) {
+            static_cast<size_t>(ch->pending_wakeups_)) {
           return true;
         }
         return ch->closed_ && ch->values_.empty();
@@ -71,8 +89,8 @@ class Channel {
       }
       std::optional<T> await_resume() {
         if (suspended) {
-          assert(ch->scheduled_wakeups_ > 0);
-          --ch->scheduled_wakeups_;
+          assert(ch->pending_wakeups_ > 0);
+          --ch->pending_wakeups_;
         }
         if (ch->values_.empty()) {
           assert(ch->closed_);
@@ -87,18 +105,10 @@ class Channel {
   }
 
  private:
-  void WakeOne() {
-    if (!waiters_.empty()) {
-      sched_.ScheduleHandle(sched_.Now(), waiters_.front());
-      waiters_.pop_front();
-      ++scheduled_wakeups_;
-    }
-  }
-
   Scheduler& sched_;
-  std::deque<T> values_;
-  std::deque<std::coroutine_handle<>> waiters_;
-  int scheduled_wakeups_ = 0;
+  RingBuffer<T, 4> values_;
+  RingBuffer<std::coroutine_handle<>, 4> waiters_;
+  int pending_wakeups_ = 0;
   bool closed_ = false;
 };
 

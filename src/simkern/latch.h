@@ -8,8 +8,8 @@
 
 #include <cassert>
 #include <coroutine>
-#include <vector>
 
+#include "simkern/ring.h"
 #include "simkern/scheduler.h"
 
 namespace pdblb::sim {
@@ -28,8 +28,12 @@ class Latch {
   void CountDown() {
     assert(count_ > 0);
     if (--count_ == 0) {
-      for (auto h : waiters_) sched_.ScheduleHandle(sched_.Now(), h);
-      waiters_.clear();
+      // Fan-out goes through the calendar (not ResumeInline): waiters keep
+      // their FIFO positions relative to other events at this timestamp.
+      while (!waiters_.empty()) {
+        sched_.ScheduleHandle(sched_.Now(), waiters_.front());
+        waiters_.pop_front();
+      }
     }
   }
 
@@ -51,7 +55,10 @@ class Latch {
  private:
   Scheduler& sched_;
   int count_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  // Inline capacity 4: latches are constructed per fork/join and almost
+  // always have a single waiter (the forking parent), so waiting is
+  // allocation-free even though every latch is brand new.
+  RingBuffer<std::coroutine_handle<>, 4> waiters_;
 };
 
 }  // namespace pdblb::sim

@@ -30,18 +30,18 @@ void Resource::Release() {
   assert(free_ <= servers_);
   ++completed_;
   if (!waiters_.empty()) {
-    // Hand the freed server directly to the next waiter (still FCFS); the
-    // waiter resumes through the event queue at the current time.
-    Grant();
-    sched_.ScheduleHandle(sched_.Now(), waiters_.front());
+    // Hand the freed server to the next waiter (still FCFS).  The grant is
+    // performed inline — no intermediate grant wake-up event.  A Use()
+    // waiter's service interval starts at this instant, so its single
+    // calendar event is the resume at end of service; an Acquire() waiter
+    // brackets its own service and wakes at the grant timestamp (through
+    // the same-time ring, preserving calendar FIFO for admission queues).
+    Waiter w = waiters_.front();
     waiters_.pop_front();
+    Grant();
+    sched_.ScheduleHandle(
+        w.service < 0.0 ? sched_.Now() : sched_.Now() + w.service, w.handle);
   }
-}
-
-Task<> Resource::Use(SimTime duration) {
-  co_await Acquire();
-  co_await sched_.Delay(duration);
-  Release();
 }
 
 double Resource::BusyIntegral() const {

@@ -8,12 +8,13 @@
 #ifndef PDBLB_SIMKERN_RESOURCE_H_
 #define PDBLB_SIMKERN_RESOURCE_H_
 
+#include <algorithm>
 #include <cassert>
 #include <coroutine>
-#include <deque>
 #include <string>
 
 #include "common/units.h"
+#include "simkern/ring.h"
 #include "simkern/scheduler.h"
 #include "simkern/task.h"
 
@@ -27,14 +28,22 @@ namespace pdblb::sim {
 ///   co_await sched.Delay(service_time);
 ///   res.Release();
 ///
-/// or use the convenience form `co_await res.Use(service_time)`.
+/// or use the frameless form `co_await res.Use(service_time)`, which is the
+/// hot path: it suspends the caller directly on the resource's wait queue
+/// (no coroutine frame), and a release hands the freed server to the next
+/// waiter inline — the grant bookkeeping happens synchronously inside
+/// Release(), and the only calendar event per acquisition is the waiter's
+/// resume at its end-of-service time.  A contended acquisition therefore
+/// costs one event instead of the two (grant wake-up + service delay) the
+/// coroutine-based Use() used to pay.
 class Resource {
  public:
   Resource(Scheduler& sched, int servers, std::string name = "");
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
 
-  /// FCFS acquisition of one server.
+  /// FCFS acquisition of one server.  The caller brackets its own service
+  /// interval and must call Release() when done.
   auto Acquire() {
     struct Awaiter {
       Resource* res;
@@ -46,8 +55,7 @@ class Resource {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        res->waiters_.push_back(h);
-        res->max_queue_ = std::max(res->max_queue_, res->waiters_.size());
+        res->Enqueue(h, kAcquireSentinel);
       }
       // Woken waiters were granted a server by Release().
       void await_resume() const noexcept {}
@@ -58,8 +66,31 @@ class Resource {
   /// Releases one server and hands it to the longest-waiting process.
   void Release();
 
-  /// Acquire + Delay(duration) + Release.
-  Task<> Use(SimTime duration);
+  /// Frameless Acquire + Delay(duration) + Release.  `co_await res.Use(d)`
+  /// suspends the caller exactly once — until its service interval ends —
+  /// and performs the release on resumption.
+  auto Use(SimTime duration) {
+    struct Awaiter {
+      Resource* res;
+      SimTime service;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        if (res->free_ > 0) {
+          // Server available: the service interval starts now; resume the
+          // caller when it ends.
+          res->Grant();
+          res->sched_.ScheduleHandle(res->sched_.Now() + service, h);
+        } else {
+          res->Enqueue(h, service);
+        }
+      }
+      // Resumed at end of service (the releasing side scheduled us at
+      // grant time + service).  Free the server and hand off.
+      void await_resume() const { res->Release(); }
+    };
+    assert(duration >= 0.0);
+    return Awaiter{this, duration};
+  }
 
   int servers() const { return servers_; }
   int busy() const { return servers_ - free_; }
@@ -81,14 +112,28 @@ class Resource {
   void ResetStats();
 
  private:
-  void Grant();        // free_--, update integral
+  // A waiter is either a Use() suspension carrying its service time, or an
+  // Acquire() suspension marked by the sentinel (it brackets its own
+  // service interval and must wake at the grant timestamp).
+  static constexpr SimTime kAcquireSentinel = -1.0;
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    SimTime service;
+  };
+
+  void Enqueue(std::coroutine_handle<> h, SimTime service) {
+    waiters_.push_back(Waiter{h, service});
+    max_queue_ = std::max(max_queue_, waiters_.size());
+  }
+
+  void Grant();           // free_--, update integral
   void AccumulateBusy();  // fold busy time up to Now() into the integral
 
   Scheduler& sched_;
   std::string name_;
   int servers_;
   int free_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  RingBuffer<Waiter> waiters_;
   size_t max_queue_ = 0;
 
   double busy_integral_ = 0.0;

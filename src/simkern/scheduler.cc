@@ -158,12 +158,28 @@ void Scheduler::Dispatch(const Event& event) {
 void Scheduler::Run() {
   constexpr SimTime kForever = std::numeric_limits<SimTime>::infinity();
   Event event;
-  while (PopNext(&event, kForever)) Dispatch(event);
+  while (true) {
+    // The hand-off lane drains before the calendar: its entries are ready
+    // continuations at the current timestamp (see HandOff()).
+    if (!handoffs_.empty()) {
+      ResumeHandOff();
+      continue;
+    }
+    if (!PopNext(&event, kForever)) break;
+    Dispatch(event);
+  }
 }
 
 void Scheduler::RunUntil(SimTime until) {
   Event event;
-  while (PopNext(&event, until)) Dispatch(event);
+  while (true) {
+    if (!handoffs_.empty()) {
+      ResumeHandOff();
+      continue;
+    }
+    if (!PopNext(&event, until)) break;
+    Dispatch(event);
+  }
   if (now_ < until) now_ = until;
 }
 

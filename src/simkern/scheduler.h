@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "simkern/ring.h"
 #include "simkern/task.h"
 
 namespace pdblb::sim {
@@ -106,6 +107,26 @@ class Scheduler {
   /// self-destroys on completion.
   void Spawn(Task<> task) { ScheduleHandle(now_, task.Detach()); }
 
+  /// Inline-resume entry point for blocking-primitive hand-offs (a channel
+  /// value handed to a blocked consumer).  The handle is placed on the
+  /// hand-off lane: a FIFO of ready continuations that the dispatch loop
+  /// resumes at the current timestamp *ahead of* calendar events, paying no
+  /// calendar event, no sequence number and no heap/ring traffic.  Unlike
+  /// resuming `h` synchronously inside the caller, the lane drains only
+  /// after the current continuation suspends — so a producer emitting a
+  /// burst of values keeps running and the woken consumer still drains the
+  /// whole burst in one resumption.  Hand-offs are FIFO among themselves
+  /// and the primitive's own waiter queue fixes who is woken, so same-time
+  /// FIFO ordering among the waiters is preserved; primitives where
+  /// *calendar* FIFO position is the contract (Delay(0) yields, latch
+  /// fan-out broadcasts) must keep scheduling through the calendar.
+  /// Dispatch stays fully deterministic: hand-offs occur at fixed points of
+  /// the event sequence.
+  void HandOff(std::coroutine_handle<> h) {
+    assert(h);
+    handoffs_.push_back(h);
+  }
+
   /// Awaitable that suspends the current process for `delta` milliseconds.
   /// A zero delay still yields through the event queue (FIFO fairness).
   auto Delay(SimTime delta) {
@@ -140,7 +161,12 @@ class Scheduler {
 
   /// Number of events processed since construction (diagnostics).
   uint64_t events_processed() const { return events_processed_; }
-  size_t pending_events() const { return heap_.size() + ring_size_; }
+  /// Number of calendar-bypassing hand-off resumes (diagnostics).  Counted
+  /// separately from events_processed(): hand-offs are not calendar events.
+  uint64_t inline_resumes() const { return inline_resumes_; }
+  size_t pending_events() const {
+    return heap_.size() + ring_size_ + handoffs_.size();
+  }
 
  private:
   // One calendar entry.  `h` is a tagged word: coroutine handle address
@@ -216,10 +242,19 @@ class Scheduler {
   void RunCallbackCell(uint32_t idx);
   void DestroyPendingCallback(const Event& event);
 
+  // Resumes the oldest hand-off lane entry (see HandOff()).
+  void ResumeHandOff() {
+    std::coroutine_handle<> h = handoffs_.front();
+    handoffs_.pop_front();
+    ++inline_resumes_;
+    h.resume();
+  }
+
   std::vector<Event> heap_;  // implicit binary min-heap
   std::vector<Event> ring_;  // power-of-two capacity FIFO ring
   size_t ring_head_ = 0;
   size_t ring_size_ = 0;
+  RingBuffer<std::coroutine_handle<>, 4> handoffs_;  // inline-resume lane
 
   std::vector<std::unique_ptr<CallbackCell[]>> cell_chunks_;
   std::vector<uint32_t> free_cells_;
@@ -227,6 +262,7 @@ class Scheduler {
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
+  uint64_t inline_resumes_ = 0;
   bool shutting_down_ = false;
 };
 

@@ -8,8 +8,8 @@
 #define PDBLB_SIMKERN_TASK_GROUP_H_
 
 #include <coroutine>
-#include <vector>
 
+#include "simkern/ring.h"
 #include "simkern/scheduler.h"
 #include "simkern/task.h"
 
@@ -56,14 +56,18 @@ class TaskGroup {
 
   void Finish() {
     if (--active_ == 0) {
-      for (auto h : waiters_) sched_.ScheduleHandle(sched_.Now(), h);
-      waiters_.clear();
+      while (!waiters_.empty()) {
+        sched_.ScheduleHandle(sched_.Now(), waiters_.front());
+        waiters_.pop_front();
+      }
     }
   }
 
   Scheduler& sched_;
   int active_ = 0;
-  std::vector<std::coroutine_handle<>> waiters_;
+  // Like Latch: groups are constructed per query and typically have one
+  // waiter, which the inline capacity absorbs without an allocation.
+  RingBuffer<std::coroutine_handle<>, 4> waiters_;
 };
 
 }  // namespace pdblb::sim

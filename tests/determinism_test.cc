@@ -29,9 +29,17 @@ void ExpectIdentical(const MetricsReport& a, const MetricsReport& b) {
   EXPECT_DOUBLE_EQ(a.multiway_rt_ms, b.multiway_rt_ms);
   EXPECT_EQ(a.lock_waits, b.lock_waits);
   // The kernel event count is part of the deterministic surface: two runs
-  // of the same seed must dispatch exactly the same events.  (Wall-clock
-  // derived fields like kernel_events_per_sec are intentionally excluded.)
+  // of the same seed must dispatch exactly the same events.  Note the
+  // accounting change with the frameless-awaiter kernel: a contended
+  // Resource::Use now costs one calendar event (the end-of-service resume)
+  // instead of two (grant wake-up + service delay), and channel value
+  // hand-offs bypass the calendar entirely — so absolute kernel_events
+  // values are much lower than under the PR 1 kernel and calendar-
+  // bypassing resumes are pinned separately via kernel_handoffs.
+  // (Wall-clock derived fields like kernel_events_per_sec are
+  // intentionally excluded.)
   EXPECT_EQ(a.kernel_events, b.kernel_events);
+  EXPECT_EQ(a.kernel_handoffs, b.kernel_handoffs);
 }
 
 SystemConfig SmallConfig() {

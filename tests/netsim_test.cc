@@ -88,7 +88,9 @@ TEST(NetworkTest, SenderCpuContentionDelaysTransfer) {
   Fixture f;
   SimTime end = -1;
   // Occupy the sender CPU for 10 ms; the transfer must queue behind it.
-  f.sched.Spawn(f.cpus[0]->Use(10.0));
+  f.sched.Spawn([](Fixture& fx) -> sim::Task<> {
+    co_await fx.cpus[0]->Use(10.0);
+  }(f));
   f.sched.Spawn([](Fixture& fx, SimTime* out) -> sim::Task<> {
     co_await fx.net->Transfer(0, 1, 100);
     *out = fx.sched.Now();

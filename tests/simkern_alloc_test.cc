@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "simkern/channel.h"
+#include "simkern/latch.h"
 #include "simkern/resource.h"
 #include "simkern/scheduler.h"
 #include "simkern/task.h"
@@ -115,6 +117,112 @@ TEST(SchedulerAllocTest, SteadyStateDispatchAllocatesNothing) {
   EXPECT_EQ(allocations_after - allocations_before, 0u)
       << "dispatching " << dispatched << " events allocated "
       << (allocations_after - allocations_before) << " times";
+}
+
+// --- blocking primitives ---------------------------------------------------
+// The frameless Resource::Use awaiter and the ring-buffer waiter/value
+// queues extend the zero-allocation guarantee from dispatch to *blocking*:
+// once the rings have grown to the high-water mark of each queue, contended
+// acquisitions, channel traffic and latch fork/joins touch the heap exactly
+// never.  (The old kernel allocated a coroutine frame per Use and paid
+// std::deque chunk churn on every queue at chunk boundaries, forever.)
+
+Task<> ContendedClient(Scheduler& sched, Resource& res, SimTime hold,
+                       int64_t rounds) {
+  for (int64_t i = 0; i < rounds; ++i) {
+    co_await res.Use(hold);
+  }
+  (void)sched;
+}
+
+TEST(SchedulerAllocTest, ContendedResourceUseAllocatesNothing) {
+  Scheduler sched;
+  sched.Reserve(/*events=*/1024);
+  Resource res(sched, /*servers=*/3, "cpu");
+  // 48 clients against 3 servers: essentially every acquisition queues.
+  for (int i = 0; i < 48; ++i) {
+    sched.Spawn(ContendedClient(sched, res, 0.4 + 0.01 * i, 50000));
+  }
+  sched.RunUntil(500.0);  // warm-up: rings and frame arena reach steady state
+  ASSERT_GT(res.max_queue_length(), 16u) << "shape is not actually contended";
+
+  uint64_t allocations_before = g_allocations;
+  uint64_t completed_before = res.completed();
+  sched.RunUntil(5000.0);
+  EXPECT_GT(res.completed() - completed_before, 20000u);
+  EXPECT_EQ(g_allocations - allocations_before, 0u)
+      << "contended Resource::Use must not allocate in steady state";
+}
+
+Task<> PingPongProducer(Scheduler& sched, Channel<int64_t>& ch, int burst,
+                        int64_t rounds) {
+  for (int64_t i = 0; i < rounds; ++i) {
+    co_await sched.Delay(1.0);
+    // Bursts larger than the ring's inline capacity keep the value queue
+    // at its grown (heap) capacity — the "at capacity" steady state.
+    for (int k = 0; k < burst; ++k) ch.Send(i * burst + k);
+  }
+  ch.Close();
+}
+
+Task<> PingPongConsumer(Channel<int64_t>& ch, uint64_t* received) {
+  while (auto v = co_await ch.Receive()) {
+    ++*received;
+  }
+}
+
+TEST(SchedulerAllocTest, ChannelSendRecvAtCapacityAllocatesNothing) {
+  Scheduler sched;
+  sched.Reserve(/*events=*/256);
+  Channel<int64_t> ch(sched);
+  uint64_t received = 0;
+  sched.Spawn(PingPongConsumer(ch, &received));
+  sched.Spawn(PingPongProducer(sched, ch, /*burst=*/16, /*rounds=*/100000));
+  sched.RunUntil(200.0);  // warm-up grows the value ring past inline capacity
+  ASSERT_GT(received, 1000u);
+
+  uint64_t allocations_before = g_allocations;
+  uint64_t received_before = received;
+  sched.RunUntil(20000.0);
+  EXPECT_GT(received - received_before, 100000u);
+  EXPECT_EQ(g_allocations - allocations_before, 0u)
+      << "channel send/recv at capacity must not allocate in steady state";
+}
+
+Task<> LatchChild(Scheduler& sched, Latch* latch, SimTime delay) {
+  co_await sched.Delay(delay);
+  latch->CountDown();
+}
+
+// Repeated fork/join: a brand-new Latch per round, children spawned from
+// the recycled frame arena, the single waiter held in the latch's inline
+// ring slots.  No round may touch the heap after warm-up.
+Task<> ForkJoinLoop(Scheduler& sched, int fanout, int64_t rounds,
+                    uint64_t* joins) {
+  for (int64_t i = 0; i < rounds; ++i) {
+    Latch latch(sched, fanout);
+    for (int f = 0; f < fanout; ++f) {
+      sched.Spawn(LatchChild(sched, &latch, 0.5 + 0.1 * f));
+    }
+    co_await latch.Wait();
+    ++*joins;
+  }
+}
+
+TEST(SchedulerAllocTest, LatchFanOutAllocatesNothing) {
+  Scheduler sched;
+  sched.Reserve(/*events=*/256);
+  uint64_t joins = 0;
+  sched.Spawn(ForkJoinLoop(sched, /*fanout=*/8, /*rounds=*/100000, &joins));
+  sched.RunUntil(100.0);  // warm-up
+  ASSERT_GT(joins, 10u);
+
+  uint64_t allocations_before = g_allocations;
+  uint64_t joins_before = joins;
+  sched.RunUntil(30000.0);
+  EXPECT_GT(joins - joins_before, 10000u);
+  EXPECT_EQ(g_allocations - allocations_before, 0u)
+      << "latch fork/join fan-out must not allocate in steady state";
 }
 
 TEST(SchedulerAllocTest, AllocationCounterIsLive) {
