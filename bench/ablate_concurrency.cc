@@ -18,7 +18,6 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
 std::string SchemeName(CcScheme s) {
   switch (s) {
@@ -32,8 +31,8 @@ std::string SchemeName(CcScheme s) {
   return "?";
 }
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Ablation — concurrency control for read-only queries "
       "(20 PE, joins 0.1 QPS/PE + updates on A)",
       "updates QPS/PE");
@@ -56,7 +55,7 @@ void Setup() {
       ApplyHorizon(cfg);
       char label[16];
       std::snprintf(label, sizeof(label), "%.1f", rate);
-      RegisterPoint("cc/" + SchemeName(scheme) + "/" + label, cfg,
+      fig.AddPoint("cc/" + SchemeName(scheme) + "/" + label, cfg,
                     SchemeName(scheme), rate, label);
     }
   }

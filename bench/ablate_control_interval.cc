@@ -15,10 +15,9 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Ablation — control-report interval (n = 80, 0.25 QPS/PE)",
       "interval ms");
 
@@ -29,7 +28,7 @@ void Setup() {
       cfg.strategy = strategy;
       cfg.control_report_interval_ms = interval;
       ApplyHorizon(cfg);
-      RegisterPoint("ablate_interval/" + strategy.Name() + "/" +
+      fig.AddPoint("ablate_interval/" + strategy.Name() + "/" +
                         std::to_string(static_cast<int>(interval)) + "ms",
                     cfg, strategy.Name(), interval,
                     TextTable::Num(interval, 0));

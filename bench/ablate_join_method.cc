@@ -18,14 +18,13 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
 std::string MethodName(LocalJoinMethod m) {
   return m == LocalJoinMethod::kPPHJ ? "PPHJ" : "sort-merge";
 }
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Ablation — local join method (PPHJ vs. sort-merge), 40 PE, 1% sel.",
       "buffer pages");
 
@@ -40,7 +39,7 @@ void Setup() {
       cfg.buffer.buffer_pages = pages;
       cfg.join_query.arrival_rate_per_pe_qps = 0.10;
       ApplyHorizon(cfg);
-      RegisterPoint(
+      fig.AddPoint(
           "join_method/" + MethodName(method) + "/" + std::to_string(pages),
           cfg, MethodName(method), pages, std::to_string(pages));
     }
@@ -57,7 +56,7 @@ void Setup() {
     cfg.oltp.placement = OltpPlacement::kAllNodes;
     cfg.oltp.tps_per_node = 50.0;
     ApplyHorizon(cfg);
-    RegisterPoint("join_method/" + MethodName(method) + "/oltp-mix", cfg,
+    fig.AddPoint("join_method/" + MethodName(method) + "/oltp-mix", cfg,
                   MethodName(method) + " + OLTP", 0, "OLTP mix");
   }
 }

@@ -17,10 +17,9 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Ablation — LUC/LUM adaptive feedback on/off (n = 80, 0.25 QPS/PE)",
       "feedback");
 
@@ -34,7 +33,7 @@ void Setup() {
       ApplyHorizon(cfg);
       std::string series =
           strategy.Name() + (feedback ? " +feedback" : " -feedback");
-      RegisterPoint("ablate_lum/" + series, cfg, series, feedback ? 1 : 0,
+      fig.AddPoint("ablate_lum/" + series, cfg, series, feedback ? 1 : 0,
                     feedback ? "on" : "off");
     }
   }

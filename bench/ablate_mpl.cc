@@ -19,10 +19,9 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Ablation — multiprogramming level (40 PE, OPT-IO-CPU)", "MPL");
 
   const std::vector<int> mpls = {1, 2, 4, 16, 64};
@@ -34,7 +33,7 @@ void Setup() {
       cfg.multiprogramming_level = mpl;
       cfg.join_query.arrival_rate_per_pe_qps = 0.25;  // heavy join load
       ApplyHorizon(cfg);
-      RegisterPoint("mpl/joins/" + std::to_string(mpl), cfg, "join load",
+      fig.AddPoint("mpl/joins/" + std::to_string(mpl), cfg, "join load",
                     mpl, std::to_string(mpl));
     }
     {
@@ -45,7 +44,7 @@ void Setup() {
       cfg.buffer.buffer_pages = 12;  // memory-hungry variant
       cfg.join_query.arrival_rate_per_pe_qps = 0.15;
       ApplyHorizon(cfg);
-      RegisterPoint("mpl/mem-tight/" + std::to_string(mpl), cfg,
+      fig.AddPoint("mpl/mem-tight/" + std::to_string(mpl), cfg,
                     "memory-tight", mpl, std::to_string(mpl));
     }
   }

@@ -17,10 +17,9 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Ablation — PPHJ opportunistic growth on/off", "scenario");
 
   for (bool growth : {true, false}) {
@@ -35,7 +34,7 @@ void Setup() {
     mem.strategy = strategies::MinIOSuOpt();
     mem.pphj_opportunistic_growth = growth;
     ApplyHorizon(mem);
-    RegisterPoint("ablate_pphj/memory-bound" + suffix, mem,
+    fig.AddPoint("ablate_pphj/memory-bound" + suffix, mem,
                   "memory-bound MIN-IO-SUOPT" + suffix, growth ? 1 : 0,
                   "mem-bound");
 
@@ -49,7 +48,7 @@ void Setup() {
     mixed.strategy = strategies::OptIOCpu();
     mixed.pphj_opportunistic_growth = growth;
     ApplyHorizon(mixed);
-    RegisterPoint("ablate_pphj/mixed" + suffix, mixed,
+    fig.AddPoint("ablate_pphj/mixed" + suffix, mixed,
                   "mixed OPT-IO-CPU" + suffix, growth ? 1 : 0, "mixed");
   }
 }

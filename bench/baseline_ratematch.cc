@@ -18,10 +18,9 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Baseline — RateMatch [20] vs. the paper's strategies "
       "(1% sel., load sweep at 60 PE)",
       "QPS/PE");
@@ -43,7 +42,7 @@ void Setup() {
       ApplyHorizon(cfg);
       char label[32];
       std::snprintf(label, sizeof(label), "%.2f", qps);
-      RegisterPoint("ratematch/" + strategy.Name() + "/" + label, cfg,
+      fig.AddPoint("ratematch/" + strategy.Name() + "/" + label, cfg,
                     strategy.Name(), qps, label);
     }
   }

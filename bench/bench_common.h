@@ -1,35 +1,57 @@
 // Copyright 2026 the pdblb authors. MIT license.
 //
-// Shared infrastructure for the per-figure benchmark binaries.  Every bench
-// registers one google-benchmark entry per (series, x) point; each entry
-// runs a full cluster simulation once and exports the measurements as
-// benchmark counters.  After all benchmarks ran, a paper-style table with
-// one row per point is printed so the figure's series can be compared at a
-// glance.
+// Shared harness for the per-figure benchmark binaries.  Each driver
+// declares a grid of sweep points (one per (series, x) coordinate); the
+// harness executes the grid on the shared experiment runner
+// (src/runner/sweep.h) and prints a paper-style table with one row per
+// point.  All drivers share one CLI:
 //
-// Environment:
-//   PDBLB_BENCH_FAST=1        shrink warm-up/measurement (quick smoke runs)
-//   PDBLB_BENCH_CSV=<path>    additionally dump the figure rows as CSV
+//   --jobs=N            run N sweep points concurrently (default 1).  The
+//                       table and CSV are bit-identical for every N; jobs
+//                       only changes wall-clock time.
+//   --csv=PATH          dump the deterministic result columns as CSV
+//   --filter=SUBSTR     keep only points whose name contains SUBSTR
+//                       (names are path-style: figure/series/x)
+//   --seed=S            root seed; point i runs with a seed derived from
+//                       (S, grid index i)
+//   --fast              shrink warm-up/measurement (quick smoke runs)
+//   --list              print the point names of the (filtered) grid, don't run
+//   --quiet             suppress the per-point progress lines on stderr
+//   --report-json=PATH  write {points, jobs, wall_seconds, points_per_min}
+//                       (sweep-throughput trajectory for CI)
+//
+// Environment (kept for compatibility with existing scripts):
+//   PDBLB_BENCH_FAST=1        same as --fast
+//   PDBLB_BENCH_CSV=<path>    same as --csv=<path>
 
 #ifndef PDBLB_BENCH_BENCH_COMMON_H_
 #define PDBLB_BENCH_BENCH_COMMON_H_
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
-#include <map>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.h"
 #include "engine/cluster.h"
+#include "runner/sweep.h"
 
 namespace pdblb::bench {
 
-inline bool FastMode() {
-  const char* env = std::getenv("PDBLB_BENCH_FAST");
-  return env != nullptr && env[0] == '1';
+namespace internal {
+inline bool& FastFlag() {
+  static bool fast = [] {
+    const char* env = std::getenv("PDBLB_BENCH_FAST");
+    return env != nullptr && env[0] == '1';
+  }();
+  return fast;
 }
+}  // namespace internal
+
+inline bool FastMode() { return internal::FastFlag(); }
 
 /// Applies the bench-wide measurement horizon (shortened in fast mode).
 inline void ApplyHorizon(SystemConfig& cfg) {
@@ -42,149 +64,210 @@ inline void ApplyHorizon(SystemConfig& cfg) {
   }
 }
 
-/// One collected figure point.
-struct FigureRow {
-  std::string series;
-  double x = 0.0;
-  std::string x_label;
-  MetricsReport report;
+/// Parsed command line of a figure binary.
+struct BenchOptions {
+  int jobs = 1;
+  uint64_t seed = 42;
+  std::string csv_path;     // empty: no CSV
+  std::string filter;       // empty: whole grid
+  std::string report_json;  // empty: no sweep-throughput report
+  bool list_only = false;
+  bool quiet = false;
 };
 
-/// Global collector; prints the figure table at the end of main().
-class FigureTable {
+/// A figure under construction: title, axis name and the point grid.
+class Figure {
  public:
-  static FigureTable& Get() {
-    static FigureTable table;
-    return table;
-  }
-
   void SetTitle(std::string title, std::string x_name) {
     title_ = std::move(title);
     x_name_ = std::move(x_name);
   }
 
-  void Add(FigureRow row) { rows_.push_back(std::move(row)); }
-
-  void Print() const {
-    if (rows_.empty()) return;
-    std::printf("\n=== %s ===\n", title_.c_str());
-    TextTable t({x_name_, "strategy", "join RT [ms]", "deg", "CPU util",
-                 "disk util", "mem util", "temp pg/join", "join QPS",
-                 "OLTP RT [ms]", "OLTP TPS", "kern Mev/s"});
-    for (const auto& row : rows_) {
-      const MetricsReport& r = row.report;
-      t.AddRow({row.x_label, row.series, TextTable::Num(r.join_rt_ms, 1),
-                TextTable::Num(r.avg_degree, 1),
-                TextTable::Num(r.cpu_utilization, 2),
-                TextTable::Num(r.disk_utilization, 2),
-                TextTable::Num(r.memory_utilization, 2),
-                TextTable::Num(r.temp_pages_written_per_join, 1),
-                TextTable::Num(r.join_throughput_qps, 2),
-                r.oltp_completed > 0 ? TextTable::Num(r.oltp_rt_ms, 1) : "-",
-                r.oltp_completed > 0
-                    ? TextTable::Num(r.oltp_throughput_tps, 0)
-                    : "-",
-                TextTable::Num(r.kernel_events_per_sec / 1e6, 1)});
-    }
-    std::fputs(t.ToString().c_str(), stdout);
-    if (const char* csv = std::getenv("PDBLB_BENCH_CSV"); csv != nullptr) {
-      WriteCsv(csv);
-    }
+  /// Declares one grid point.  `name` must be unique within the figure and
+  /// follows the path-style convention figure/series/x (what --filter and
+  /// --list operate on).
+  void AddPoint(std::string name, SystemConfig cfg, std::string series,
+                double x, std::string x_label) {
+    sweep_.Add(runner::SweepPoint{std::move(name), std::move(series), x,
+                                  std::move(x_label), std::move(cfg)});
   }
 
-  /// Dumps the rows as CSV (for external plotting tools).
-  void WriteCsv(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write CSV to %s\n", path.c_str());
-      return;
-    }
-    // kernel_events dropped with the frameless-awaiter kernel (one event
-    // per contended acquisition instead of two) and kernel_handoffs counts
-    // the calendar-bypassing wake-ups that replaced the rest.
-    std::fprintf(f,
-                 "x,series,join_rt_ms,avg_degree,cpu_util,disk_util,"
-                 "mem_util,temp_pages_per_join,join_qps,oltp_rt_ms,"
-                 "oltp_tps,scan_rt_ms,update_rt_ms,multiway_rt_ms,"
-                 "lock_waits,kernel_events,kernel_handoffs,"
-                 "kernel_events_per_sec\n");
-    for (const auto& row : rows_) {
-      const MetricsReport& r = row.report;
-      std::fprintf(f,
-                   "%s,\"%s\",%.3f,%.3f,%.4f,%.4f,%.4f,%.2f,%.3f,%.3f,%.3f,"
-                   "%.3f,%.3f,%.3f,%lld,%llu,%llu,%.0f\n",
-                   row.x_label.c_str(), row.series.c_str(), r.join_rt_ms,
-                   r.avg_degree, r.cpu_utilization, r.disk_utilization,
-                   r.memory_utilization, r.temp_pages_written_per_join,
-                   r.join_throughput_qps, r.oltp_rt_ms, r.oltp_throughput_tps,
-                   r.scan_rt_ms, r.update_rt_ms, r.multiway_rt_ms,
-                   static_cast<long long>(r.lock_waits),
-                   static_cast<unsigned long long>(r.kernel_events),
-                   static_cast<unsigned long long>(r.kernel_handoffs),
-                   r.kernel_events_per_sec);
-    }
-    std::fclose(f);
-  }
+  const std::string& title() const { return title_; }
+  const std::string& x_name() const { return x_name_; }
+  runner::Sweep& sweep() { return sweep_; }
 
  private:
   std::string title_ = "figure";
   std::string x_name_ = "x";
-  std::vector<FigureRow> rows_;
+  runner::Sweep sweep_;
 };
 
-/// Runs one simulation point and exports counters + a figure row.
-inline void RunPoint(benchmark::State& state, SystemConfig cfg,
-                     const std::string& series, double x,
-                     const std::string& x_label) {
-  MetricsReport report;
-  for (auto _ : state) {
-    Cluster cluster(cfg);
-    report = cluster.Run();
+/// Parses the shared CLI.  Returns -1 to continue; otherwise an exit code
+/// (e.g. after --help or on a malformed flag).
+inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
+  auto value_of = [](const char* arg, const char* flag) -> const char* {
+    size_t len = std::strlen(flag);
+    if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=') {
+      return arg + len + 1;
+    }
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = value_of(arg, "--jobs")) {
+      char* end = nullptr;
+      long jobs = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || jobs < 1 || jobs > 1 << 20) {
+        std::fprintf(stderr, "invalid --jobs value: %s\n", v);
+        return 2;
+      }
+      opts.jobs = static_cast<int>(jobs);
+    } else if (const char* v = value_of(arg, "--seed")) {
+      char* end = nullptr;
+      opts.seed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "invalid --seed value: %s\n", v);
+        return 2;
+      }
+    } else if (const char* v = value_of(arg, "--csv")) {
+      opts.csv_path = v;
+    } else if (const char* v = value_of(arg, "--filter")) {
+      opts.filter = v;
+    } else if (const char* v = value_of(arg, "--report-json")) {
+      opts.report_json = v;
+    } else if (std::strcmp(arg, "--fast") == 0) {
+      internal::FastFlag() = true;
+    } else if (std::strcmp(arg, "--list") == 0) {
+      opts.list_only = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      opts.quiet = true;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs=N] [--csv=PATH] [--filter=SUBSTR] "
+                   "[--seed=S] [--fast] [--list] [--quiet] "
+                   "[--report-json=PATH]\n",
+                   argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      return 2;
+    }
   }
-  state.counters["join_rt_ms"] = report.join_rt_ms;
-  state.counters["avg_degree"] = report.avg_degree;
-  state.counters["cpu_util"] = report.cpu_utilization;
-  state.counters["disk_util"] = report.disk_utilization;
-  state.counters["mem_util"] = report.memory_utilization;
-  state.counters["temp_pages_per_join"] = report.temp_pages_written_per_join;
-  state.counters["join_qps"] = report.join_throughput_qps;
-  if (report.oltp_completed > 0) {
-    state.counters["oltp_rt_ms"] = report.oltp_rt_ms;
-    state.counters["oltp_tps"] = report.oltp_throughput_tps;
+  if (opts.csv_path.empty()) {
+    if (const char* csv = std::getenv("PDBLB_BENCH_CSV")) opts.csv_path = csv;
   }
-  state.counters["kernel_meps"] = report.kernel_events_per_sec / 1e6;
-  FigureTable::Get().Add(FigureRow{series, x, x_label, report});
+  return -1;
 }
 
-/// Registers one point as a google-benchmark entry.
-inline void RegisterPoint(const std::string& name, SystemConfig cfg,
-                          const std::string& series, double x,
-                          const std::string& x_label) {
-  benchmark::RegisterBenchmark(
-      name.c_str(),
-      [cfg, series, x, x_label](benchmark::State& state) {
-        RunPoint(state, cfg, series, x, x_label);
-      })
-      ->Iterations(1)
-      ->Unit(benchmark::kMillisecond);
+/// Prints the paper-style figure table (stdout).  The kern Mev/s column is
+/// wall-clock derived and intentionally lives only here, never in the CSV.
+inline void PrintFigureTable(const Figure& fig,
+                             const std::vector<runner::SweepResult>& results) {
+  if (results.empty()) return;
+  std::printf("\n=== %s ===\n", fig.title().c_str());
+  TextTable t({fig.x_name(), "strategy", "join RT [ms]", "deg", "CPU util",
+               "disk util", "mem util", "temp pg/join", "join QPS",
+               "OLTP RT [ms]", "OLTP TPS", "kern Mev/s"});
+  for (const runner::SweepResult& res : results) {
+    const MetricsReport& r = res.report;
+    t.AddRow({res.point.x_label, res.point.series,
+              TextTable::Num(r.join_rt_ms, 1), TextTable::Num(r.avg_degree, 1),
+              TextTable::Num(r.cpu_utilization, 2),
+              TextTable::Num(r.disk_utilization, 2),
+              TextTable::Num(r.memory_utilization, 2),
+              TextTable::Num(r.temp_pages_written_per_join, 1),
+              TextTable::Num(r.join_throughput_qps, 2),
+              r.oltp_completed > 0 ? TextTable::Num(r.oltp_rt_ms, 1) : "-",
+              r.oltp_completed > 0 ? TextTable::Num(r.oltp_throughput_tps, 0)
+                                   : "-",
+              TextTable::Num(r.kernel_events_per_sec / 1e6, 1)});
+  }
+  std::fputs(t.ToString().c_str(), stdout);
 }
 
-/// Standard main: run all registered benchmarks, then print the table.
-inline int BenchMain(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  FigureTable::Get().Print();
+/// Runs the (filtered) grid, prints the table, writes CSV/JSON artifacts.
+inline int FigureMain(Figure& fig, const BenchOptions& opts) {
+  if (!opts.filter.empty()) {
+    fig.sweep().Filter(opts.filter);
+  }
+  if (opts.list_only) {
+    for (const runner::SweepPoint& p : fig.sweep().points()) {
+      std::printf("%s\n", p.name.c_str());
+    }
+    return 0;
+  }
+  if (fig.sweep().empty()) {
+    std::fprintf(stderr, "no points match filter '%s'\n", opts.filter.c_str());
+    return 2;
+  }
+
+  runner::SweepOptions run_opts;
+  run_opts.jobs = opts.jobs;
+  run_opts.root_seed = opts.seed;
+  if (!opts.quiet) {
+    run_opts.on_point_done = [](const runner::SweepPoint& point,
+                                const MetricsReport& report, size_t finished,
+                                size_t total) {
+      std::fprintf(stderr, "[%zu/%zu] %s  join_rt=%.1f ms\n", finished, total,
+                   point.name.c_str(), report.join_rt_ms);
+    };
+  }
+
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<runner::SweepResult> results = fig.sweep().Run(run_opts);
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  PrintFigureTable(fig, results);
+  std::printf("\n%zu points in %.1f s with --jobs=%d (%.1f points/min)\n",
+              results.size(), wall_seconds, opts.jobs,
+              wall_seconds > 0.0 ? 60.0 * static_cast<double>(results.size()) /
+                                       wall_seconds
+                                 : 0.0);
+
+  if (!opts.csv_path.empty()) {
+    Status st = runner::WriteResultsCsv(opts.csv_path, results);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!opts.report_json.empty()) {
+    std::FILE* f = std::fopen(opts.report_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opts.report_json.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\"title\": \"%s\", \"points\": %zu, \"jobs\": %d, "
+                 "\"wall_seconds\": %.3f, \"points_per_min\": %.2f}\n",
+                 fig.title().c_str(), results.size(), opts.jobs, wall_seconds,
+                 wall_seconds > 0.0
+                     ? 60.0 * static_cast<double>(results.size()) /
+                           wall_seconds
+                     : 0.0);
+    std::fclose(f);
+  }
   return 0;
 }
 
 }  // namespace pdblb::bench
 
-#define PDBLB_BENCH_MAIN(setup_fn)                       \
-  int main(int argc, char** argv) {                      \
-    setup_fn();                                          \
-    return ::pdblb::bench::BenchMain(argc, argv);        \
+/// Standard main for a figure driver: parse the shared CLI, let the driver
+/// declare its grid (setup_fn(Figure&)), execute it.
+#define PDBLB_BENCH_MAIN(setup_fn)                                     \
+  int main(int argc, char** argv) {                                    \
+    ::pdblb::bench::BenchOptions opts;                                 \
+    if (int rc = ::pdblb::bench::ParseBenchArgs(argc, argv, opts);     \
+        rc >= 0) {                                                     \
+      return rc;                                                       \
+    }                                                                  \
+    ::pdblb::bench::Figure fig;                                        \
+    setup_fn(fig);                                                     \
+    return ::pdblb::bench::FigureMain(fig, opts);                      \
   }
 
 #endif  // PDBLB_BENCH_BENCH_COMMON_H_

@@ -19,10 +19,9 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Fig. 1 — response time vs degree of join parallelism (n = 80)",
       "degree p");
 
@@ -40,7 +39,7 @@ void Setup() {
     su.single_user_mode = true;
     su.single_user_queries = bench::FastMode() ? 8 : 20;
     su.strategy = forced;
-    RegisterPoint("fig1a/single-user/p=" + std::to_string(p), su,
+    fig.AddPoint("fig1a/single-user/p=" + std::to_string(p), su,
                   "(a) single-user", p, std::to_string(p));
 
     // (b) CPU bottleneck: the paper's homogeneous multi-user load.
@@ -48,7 +47,7 @@ void Setup() {
     cpu_bound.num_pes = 80;
     cpu_bound.strategy = forced;
     ApplyHorizon(cpu_bound);
-    RegisterPoint("fig1b/cpu-bound/p=" + std::to_string(p), cpu_bound,
+    fig.AddPoint("fig1b/cpu-bound/p=" + std::to_string(p), cpu_bound,
                   "(b) multi-user CPU-bound", p, std::to_string(p));
 
     // (c) memory/disk bottleneck: buffers/10, one disk per PE, low rate.
@@ -59,7 +58,7 @@ void Setup() {
     mem_bound.join_query.arrival_rate_per_pe_qps = 0.05;
     mem_bound.strategy = forced;
     ApplyHorizon(mem_bound);
-    RegisterPoint("fig1c/memory-bound/p=" + std::to_string(p), mem_bound,
+    fig.AddPoint("fig1c/memory-bound/p=" + std::to_string(p), mem_bound,
                   "(c) multi-user memory-bound", p, std::to_string(p));
   }
 }
@@ -67,8 +66,15 @@ void Setup() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Setup();
-  int rc = ::pdblb::bench::BenchMain(argc, argv);
+  ::pdblb::bench::BenchOptions opts;
+  if (int rc = ::pdblb::bench::ParseBenchArgs(argc, argv, opts); rc >= 0) {
+    return rc;
+  }
+  ::pdblb::bench::Figure fig;
+  Setup(fig);
+  int rc = ::pdblb::bench::FigureMain(fig, opts);
+  // Keep --list output machine-readable and skip the extras on failure.
+  if (rc != 0 || opts.list_only) return rc;
 
   // Analytic single-user R(p) from the cost model, for comparison with (a).
   SystemConfig cfg;

@@ -5,8 +5,6 @@
 // self-documenting, and verifies the derived quantities the paper states
 // (relation sizes in MB, p_su-noIO, p_su-opt).
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
 #include "common/table.h"
@@ -116,20 +114,18 @@ void PrintParameters() {
   std::fputs(d.ToString().c_str(), stdout);
 }
 
-void BM_ConfigValidation(benchmark::State& state) {
-  for (auto _ : state) {
-    SystemConfig cfg;
-    benchmark::DoNotOptimize(cfg.Validate().ok());
-  }
-}
-BENCHMARK(BM_ConfigValidation);
-
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+int main() {
+  // Fig. 4 is a parameter table, not a sweep: no simulation runs, so the
+  // shared runner CLI (--jobs etc.) does not apply here.
+  SystemConfig defaults;
+  Status st = defaults.Validate();
+  if (!st.ok()) {
+    std::fprintf(stderr, "default SystemConfig invalid: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
   PrintParameters();
   return 0;
 }

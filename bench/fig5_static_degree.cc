@@ -17,10 +17,9 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Fig. 5 — static degree of parallelism (0.25 QPS/PE, 1% selectivity)",
       "#PE");
 
@@ -37,7 +36,7 @@ void Setup() {
       cfg.num_pes = n;
       cfg.strategy = strategy;
       ApplyHorizon(cfg);
-      RegisterPoint("fig5/" + strategy.Name() + "/" + std::to_string(n), cfg,
+      fig.AddPoint("fig5/" + strategy.Name() + "/" + std::to_string(n), cfg,
                     strategy.Name(), n, std::to_string(n));
     }
     // Single-user baseline with p_su-opt join processors.
@@ -46,7 +45,7 @@ void Setup() {
     su.single_user_mode = true;
     su.single_user_queries = bench::FastMode() ? 10 : 30;
     su.strategy = strategies::PsuOptLUM();
-    RegisterPoint("fig5/single-user(p_su-opt)/" + std::to_string(n), su,
+    fig.AddPoint("fig5/single-user(p_su-opt)/" + std::to_string(n), su,
                   "single-user (p_su-opt)", n, std::to_string(n));
   }
 }

@@ -16,10 +16,9 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Fig. 6 — dynamic degree of join parallelism (0.25 QPS/PE, 1% sel.)",
       "#PE");
 
@@ -36,7 +35,7 @@ void Setup() {
       cfg.num_pes = n;
       cfg.strategy = strategy;
       ApplyHorizon(cfg);
-      RegisterPoint("fig6/" + strategy.Name() + "/" + std::to_string(n), cfg,
+      fig.AddPoint("fig6/" + strategy.Name() + "/" + std::to_string(n), cfg,
                     strategy.Name(), n, std::to_string(n));
     }
     SystemConfig su;
@@ -44,7 +43,7 @@ void Setup() {
     su.single_user_mode = true;
     su.single_user_queries = bench::FastMode() ? 10 : 30;
     su.strategy = strategies::PsuOptLUM();
-    RegisterPoint("fig6/single-user(p_su-opt)/" + std::to_string(n), su,
+    fig.AddPoint("fig6/single-user(p_su-opt)/" + std::to_string(n), su,
                   "single-user (p_su-opt)", n, std::to_string(n));
   }
 }

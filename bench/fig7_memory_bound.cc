@@ -18,7 +18,6 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
 SystemConfig MemoryBound(int n, double rate, StrategyConfig strategy) {
   SystemConfig cfg;
@@ -31,8 +30,8 @@ SystemConfig MemoryBound(int n, double rate, StrategyConfig strategy) {
   return cfg;
 }
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Fig. 7 — memory-bound environment (5 buffer pages, 1 disk/PE)",
       "#PE");
 
@@ -43,7 +42,7 @@ void Setup() {
            {strategies::PmuCpuLUM(), strategies::MinIOSuOpt()}) {
         std::string series = strategy.Name() + " @" +
                              TextTable::Num(rate, 3) + " QPS/PE";
-        RegisterPoint("fig7/" + series + "/" + std::to_string(n),
+        fig.AddPoint("fig7/" + series + "/" + std::to_string(n),
                       MemoryBound(n, rate, strategy), series, n,
                       std::to_string(n));
       }
@@ -52,7 +51,7 @@ void Setup() {
     SystemConfig su = MemoryBound(n, 0.05, strategies::PsuOptLUM());
     su.single_user_mode = true;
     su.single_user_queries = bench::FastMode() ? 8 : 20;
-    RegisterPoint("fig7/single-user/" + std::to_string(n), su, "single-user",
+    fig.AddPoint("fig7/single-user/" + std::to_string(n), su, "single-user",
                   n, std::to_string(n));
   }
 }

@@ -20,15 +20,14 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
 struct Complexity {
   double selectivity;
   double rate_per_pe;  // chosen to load the system (>75% on some resource)
 };
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Fig. 8 — influence of join complexity (60 PE; RT improvement is "
       "computed vs p_su-opt + RANDOM, see summary below)",
       "selectivity %");
@@ -51,7 +50,7 @@ void Setup() {
       cfg.strategy = strategy;
       ApplyHorizon(cfg);
       std::string x = TextTable::Num(c.selectivity * 100, 1);
-      RegisterPoint("fig8/" + strategy.Name() + "/sel=" + x + "%", cfg,
+      fig.AddPoint("fig8/" + strategy.Name() + "/sel=" + x + "%", cfg,
                     strategy.Name(), c.selectivity, x);
     }
   }
@@ -59,7 +58,4 @@ void Setup() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  Setup();
-  return ::pdblb::bench::BenchMain(argc, argv);
-}
+PDBLB_BENCH_MAIN(Setup)

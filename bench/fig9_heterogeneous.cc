@@ -19,10 +19,9 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Fig. 9 — mixed join/OLTP workloads (0.075 QPS/PE joins, 100 TPS per "
       "OLTP node, 5 disks/PE)",
       "#PE");
@@ -47,7 +46,7 @@ void Setup() {
         cfg.disk.disks_per_pe = 5;
         cfg.strategy = strategy;
         ApplyHorizon(cfg);
-        RegisterPoint(
+        fig.AddPoint(
             "fig" + tag + "/" + strategy.Name() + "/" + std::to_string(n),
             cfg, tag + " " + strategy.Name(), n, std::to_string(n));
       }

@@ -19,14 +19,13 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
 std::string ArchName(Architecture a) {
   return a == Architecture::kSharedNothing ? "SN" : "SD";
 }
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Extension — Shared Disk vs. Shared Nothing "
       "(20 PE, joins 0.075 QPS/PE, OLTP on A nodes, 5 disks/PE)",
       "OLTP TPS/node");
@@ -47,7 +46,7 @@ void Setup() {
         cfg.oltp.tps_per_node = tps;
       }
       ApplyHorizon(cfg);
-      RegisterPoint(
+      fig.AddPoint(
           "shared_disk/" + ArchName(arch) + "/" + std::to_string((int)tps),
           cfg, ArchName(arch) + " OPT-IO-CPU", tps,
           std::to_string(static_cast<int>(tps)));

@@ -18,10 +18,9 @@ namespace {
 
 using namespace pdblb;
 using bench::ApplyHorizon;
-using bench::RegisterPoint;
 
-void Setup() {
-  bench::FigureTable::Get().SetTitle(
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
       "Extension — redistribution skew and skew-aware subjoin assignment "
       "(60 PE, 1% sel., 0.15 QPS/PE)",
       "zipf theta");
@@ -50,7 +49,7 @@ void Setup() {
       ApplyHorizon(cfg);
       char label[16];
       std::snprintf(label, sizeof(label), "%.1f", theta);
-      RegisterPoint("skew/" + e.strategy.Name() + "/" + label, cfg,
+      fig.AddPoint("skew/" + e.strategy.Name() + "/" + label, cfg,
                     e.strategy.Name(), theta, label);
     }
   }

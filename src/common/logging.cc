@@ -2,8 +2,9 @@
 
 #include "common/logging.h"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
 
 namespace pdblb {
 
@@ -18,8 +19,10 @@ LogLevel InitialLevel() {
   return static_cast<LogLevel>(value);
 }
 
-LogLevel& MutableLevel() {
-  static LogLevel level = InitialLevel();
+// Atomic so parallel sweep workers can log (and tests can flip the level)
+// without a data race; the level is read on every PDBLB_LOG macro hit.
+std::atomic<int>& MutableLevel() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
   return level;
 }
 
@@ -40,18 +43,30 @@ const char* LevelTag(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+void SetLogLevel(LogLevel level) {
+  MutableLevel().store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return MutableLevel(); }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(MutableLevel().load(std::memory_order_relaxed));
+}
 
 bool LogEnabled(LogLevel level) {
-  return static_cast<int>(level) <= static_cast<int>(MutableLevel()) &&
+  return static_cast<int>(level) <=
+             MutableLevel().load(std::memory_order_relaxed) &&
          level != LogLevel::kOff;
 }
 
 void LogMessage(LogLevel level, const std::string& message) {
   if (!LogEnabled(level)) return;
-  std::cerr << "[pdblb " << LevelTag(level) << "] " << message << "\n";
+  // One fwrite per line so lines from concurrent workers never interleave
+  // mid-message.
+  std::string line = "[pdblb ";
+  line += LevelTag(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace pdblb

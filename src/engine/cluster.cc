@@ -4,6 +4,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <stdexcept>
 
 #include "common/logging.h"
 #include "engine/join_executor.h"
@@ -234,7 +235,12 @@ MetricsReport Cluster::Collect(SimTime measure_start,
 }
 
 MetricsReport Cluster::Run() {
-  assert(!ran_ && "Cluster::Run may be called once");
+  if (ran_) {
+    throw std::logic_error(
+        "Cluster::Run() called twice on the same instance; a Cluster is "
+        "single-shot (scheduler time, statistics and RNG streams are "
+        "consumed) — construct a fresh Cluster for every run");
+  }
   ran_ = true;
 
   auto wall_start = std::chrono::steady_clock::now();

@@ -77,7 +77,10 @@ class Cluster {
   void SetTrace(Trace trace) { trace_ = std::move(trace); }
 
   /// Runs the full experiment (warm-up, measurement, drain) and returns the
-  /// collected metrics.  Call once per Cluster instance.
+  /// collected metrics.  A Cluster is single-shot: the scheduler, statistics
+  /// and RNG streams are consumed by the run, so calling Run() a second time
+  /// on the same instance throws std::logic_error — construct a fresh
+  /// Cluster per experiment (the sweep runner does this per grid point).
   MetricsReport Run();
 
  private:

@@ -40,7 +40,10 @@ namespace internal {
 /// a small set of frame sizes — so after warm-up every frame allocation is
 /// a free-list pop instead of a malloc.  Frames above kMaxBytes (or odd
 /// sizes) fall through to the global allocator.  Thread-local so parallel
-/// test runners never contend; memory is retained until thread exit.
+/// sweep workers never contend; long-lived worker threads should call
+/// TrimThreadCache() between simulations (the runner does) so a
+/// heterogeneous grid doesn't pin every point's peak frame footprint until
+/// thread exit.
 class FrameArena {
  public:
   static void* Allocate(size_t size) {
@@ -64,6 +67,24 @@ class FrameArena {
     void*& head = Buckets()[cls];
     *static_cast<void**>(frame) = head;
     head = frame;
+  }
+
+  /// Returns every recycled frame on this thread's free lists to the global
+  /// allocator.  Only frames currently on the free lists are touched; live
+  /// coroutine frames are unaffected, and the arena refills lazily on the
+  /// next simulation.  Call between independent simulations on long-lived
+  /// worker threads.
+  static void TrimThreadCache() {
+    void** buckets = Buckets();
+    for (size_t cls = 0; cls < kNumClasses; ++cls) {
+      void* head = buckets[cls];
+      while (head != nullptr) {
+        void* next = *static_cast<void**>(head);
+        ::operator delete(head);
+        head = next;
+      }
+      buckets[cls] = nullptr;
+    }
   }
 
  private:
@@ -115,6 +136,13 @@ struct PromiseBase {
 };
 
 }  // namespace internal
+
+/// Releases the calling thread's recycled coroutine-frame free lists back
+/// to the global allocator (see FrameArena::TrimThreadCache).  Sweep
+/// workers call this after each completed simulation point.
+inline void TrimFrameArenaThreadCache() {
+  internal::FrameArena::TrimThreadCache();
+}
 
 /// A lazily-started simulation coroutine returning T.
 template <typename T = void>
