@@ -18,7 +18,12 @@
 //   --list              print the point names of the (filtered) grid, don't run
 //   --quiet             suppress the per-point progress lines on stderr
 //   --report-json=PATH  write {points, jobs, wall_seconds, points_per_min}
-//                       (sweep-throughput trajectory for CI)
+//                       (sweep-throughput trajectory for CI); with --trace
+//                       also the per-subsystem attribution totals
+//   --trace=PATH        enable kernel event tracing for every point and dump
+//                       each point's trace to PATH.<grid_index>.csv (files
+//                       and bytes are identical for every --jobs value);
+//                       also prints the per-subsystem attribution table
 //
 // Environment (kept for compatibility with existing scripts):
 //   PDBLB_BENCH_FAST=1        same as --fast
@@ -71,6 +76,7 @@ struct BenchOptions {
   std::string csv_path;     // empty: no CSV
   std::string filter;       // empty: whole grid
   std::string report_json;  // empty: no sweep-throughput report
+  std::string trace_path;   // empty: tracing off
   bool list_only = false;
   bool quiet = false;
 };
@@ -135,6 +141,8 @@ inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
       opts.filter = v;
     } else if (const char* v = value_of(arg, "--report-json")) {
       opts.report_json = v;
+    } else if (const char* v = value_of(arg, "--trace")) {
+      opts.trace_path = v;
     } else if (std::strcmp(arg, "--fast") == 0) {
       internal::FastFlag() = true;
     } else if (std::strcmp(arg, "--list") == 0) {
@@ -146,7 +154,7 @@ inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
       std::fprintf(stderr,
                    "usage: %s [--jobs=N] [--csv=PATH] [--filter=SUBSTR] "
                    "[--seed=S] [--fast] [--list] [--quiet] "
-                   "[--report-json=PATH]\n",
+                   "[--report-json=PATH] [--trace=PATH]\n",
                    argv[0]);
       return 0;
     } else {
@@ -186,6 +194,55 @@ inline void PrintFigureTable(const Figure& fig,
   std::fputs(t.ToString().c_str(), stdout);
 }
 
+/// Per-subsystem attribution summed over all points of a sweep (zeros when
+/// tracing was off or compiled out).
+struct TraceTotals {
+  bool any = false;
+  uint64_t events[sim::kNumTraceSubsystems] = {};
+  double sim_time_ms[sim::kNumTraceSubsystems] = {};
+};
+
+inline TraceTotals SumTraceTotals(
+    const std::vector<runner::SweepResult>& results) {
+  TraceTotals t;
+  for (const runner::SweepResult& res : results) {
+    if (!res.report.trace_enabled) continue;
+    t.any = true;
+    for (size_t s = 0; s < sim::kNumTraceSubsystems; ++s) {
+      t.events[s] += res.report.trace_subsystem_events[s];
+      t.sim_time_ms[s] += res.report.trace_subsystem_time_ms[s];
+    }
+  }
+  return t;
+}
+
+/// Prints the per-subsystem attribution table (stdout): where the runs'
+/// simulated time went, and how many kernel events each subsystem caused.
+inline void PrintTraceAttribution(const TraceTotals& totals) {
+  if (!totals.any) return;
+  double total_ms = 0.0;
+  uint64_t total_events = 0;
+  for (size_t s = 0; s < sim::kNumTraceSubsystems; ++s) {
+    total_ms += totals.sim_time_ms[s];
+    total_events += totals.events[s];
+  }
+  std::printf("\n=== trace attribution (all points) ===\n");
+  TextTable t({"subsystem", "events", "sim time [ms]", "share"});
+  for (size_t s = 0; s < sim::kNumTraceSubsystems; ++s) {
+    if (totals.events[s] == 0) continue;
+    t.AddRow({sim::TraceSubsystemName(s),
+              std::to_string(totals.events[s]),
+              TextTable::Num(totals.sim_time_ms[s], 1),
+              TextTable::Num(total_ms > 0.0
+                                 ? 100.0 * totals.sim_time_ms[s] / total_ms
+                                 : 0.0,
+                             1) + "%"});
+  }
+  t.AddRow({"total", std::to_string(total_events),
+            TextTable::Num(total_ms, 1), "100.0%"});
+  std::fputs(t.ToString().c_str(), stdout);
+}
+
 /// Runs the (filtered) grid, prints the table, writes CSV/JSON artifacts.
 inline int FigureMain(Figure& fig, const BenchOptions& opts) {
   if (!opts.filter.empty()) {
@@ -205,6 +262,7 @@ inline int FigureMain(Figure& fig, const BenchOptions& opts) {
   runner::SweepOptions run_opts;
   run_opts.jobs = opts.jobs;
   run_opts.root_seed = opts.seed;
+  run_opts.trace_path = opts.trace_path;
   if (!opts.quiet) {
     run_opts.on_point_done = [](const runner::SweepPoint& point,
                                 const MetricsReport& report, size_t finished,
@@ -222,6 +280,8 @@ inline int FigureMain(Figure& fig, const BenchOptions& opts) {
           .count();
 
   PrintFigureTable(fig, results);
+  TraceTotals trace_totals = SumTraceTotals(results);
+  PrintTraceAttribution(trace_totals);
   std::printf("\n%zu points in %.1f s with --jobs=%d (%.1f points/min)\n",
               results.size(), wall_seconds, opts.jobs,
               wall_seconds > 0.0 ? 60.0 * static_cast<double>(results.size()) /
@@ -243,12 +303,28 @@ inline int FigureMain(Figure& fig, const BenchOptions& opts) {
     }
     std::fprintf(f,
                  "{\"title\": \"%s\", \"points\": %zu, \"jobs\": %d, "
-                 "\"wall_seconds\": %.3f, \"points_per_min\": %.2f}\n",
+                 "\"wall_seconds\": %.3f, \"points_per_min\": %.2f",
                  fig.title().c_str(), results.size(), opts.jobs, wall_seconds,
                  wall_seconds > 0.0
                      ? 60.0 * static_cast<double>(results.size()) /
                            wall_seconds
                      : 0.0);
+    if (trace_totals.any) {
+      // Per-subsystem attribution over the whole sweep (seed-deterministic,
+      // unlike the wall-clock fields above).
+      std::fprintf(f, ", \"trace_attribution\": {");
+      bool first = true;
+      for (size_t s = 0; s < sim::kNumTraceSubsystems; ++s) {
+        if (trace_totals.events[s] == 0) continue;
+        std::fprintf(f, "%s\"%s\": {\"events\": %llu, \"sim_time_ms\": %.3f}",
+                     first ? "" : ", ", sim::TraceSubsystemName(s),
+                     static_cast<unsigned long long>(trace_totals.events[s]),
+                     trace_totals.sim_time_ms[s]);
+        first = false;
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
   }
   return 0;

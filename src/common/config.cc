@@ -153,6 +153,9 @@ Status SystemConfig::Validate() const {
   if (relation_c.num_tuples <= 0 || relation_c.blocking_factor <= 0) {
     return Status::InvalidArgument("relation_c must be non-empty");
   }
+  if (trace.enabled && trace.capacity < 1) {
+    return Status::InvalidArgument("trace.capacity must be >= 1");
+  }
   return Status::OK();
 }
 

@@ -59,6 +59,19 @@ struct BufferConfig {
   double touched_window_ms = 300.0;
 };
 
+/// Kernel event tracing (src/simkern/tracer.h).  When enabled, every
+/// dispatched event and hand-off resume is recorded into a pre-allocated
+/// per-scheduler ring (most recent `capacity` records retained) and the
+/// run's MetricsReport carries the per-subsystem attribution fold.  Has no
+/// effect in PDBLB_TRACE=OFF builds (the hooks are compiled out).
+struct TraceConfig {
+  bool enabled = false;
+  /// Records retained by the ring (rounded up to a power of two).  The
+  /// attribution breakdown is exact for the whole run regardless of
+  /// wrap-around; only the dumped record tail is bounded by this.
+  int64_t capacity = 1 << 20;
+};
+
 /// Communication network parameters (packetized transmission, EDS-like).
 struct NetworkConfig {
   int packet_size_bytes = 8192;      ///< Fixed packet size; larger messages
@@ -298,6 +311,7 @@ struct SystemConfig {
 
   // --- simulation --------------------------------------------------------
   uint64_t seed = 42;
+  TraceConfig trace;
   double warmup_ms = 5000.0;        ///< Statistics reset after warm-up.
   double measurement_ms = 60000.0;  ///< Measured simulation horizon.
   /// Single-user mode: join queries run back to back with nothing else in

@@ -22,16 +22,25 @@ Cluster::Cluster(const SystemConfig& config)
   assert(st.ok() && "invalid SystemConfig");
   (void)st;
 
+  if (config_.trace.enabled && sim::kTraceCompiledIn) {
+    tracer_ = std::make_unique<sim::Tracer>(
+        static_cast<size_t>(config_.trace.capacity));
+    sched_.AttachTracer(tracer_.get());
+  }
+
   if (config_.architecture == Architecture::kSharedDisk) {
     // The global spindle pool of the storage subsystem: every PE's facade
     // shares these disks.  The pool's own CPU/controller are never used —
     // all I/O goes through the per-PE storage adapters.
-    storage_cpu_ = std::make_unique<sim::Resource>(sched_, 1, "storage.cpu");
+    // Origin 0xFFF marks the shared storage subsystem (no owning PE).
+    storage_cpu_ = std::make_unique<sim::Resource>(
+        sched_, 1, "storage.cpu",
+        sim::TraceTag(sim::TraceSubsystem::kCpu, 0xFFF));
     DiskConfig pool = config_.disk;
     pool.disks_per_pe = config_.disk.disks_per_pe * config_.num_pes;
     shared_disks_ = std::make_unique<DiskArray>(
         sched_, pool, config_.costs, config_.mips_per_pe, *storage_cpu_,
-        "storage");
+        "storage", sim::TraceTag(sim::TraceSubsystem::kDisk, 0xFFF));
   }
 
   pes_.reserve(config_.num_pes);
@@ -275,6 +284,17 @@ MetricsReport Cluster::Run() {
 
   report.kernel_events = sched_.events_processed();
   report.kernel_handoffs = sched_.inline_resumes();
+  if (tracer_ != nullptr) {
+    // Post-run attribution: fold the event trace into per-subsystem
+    // simulated-time and event-count breakdowns (exact even when the ring
+    // wrapped — the fold is accumulated as records are written).
+    report.trace_enabled = true;
+    const auto& breakdown = tracer_->breakdown();
+    for (size_t s = 0; s < sim::kNumTraceSubsystems; ++s) {
+      report.trace_subsystem_events[s] = breakdown[s].events;
+      report.trace_subsystem_time_ms[s] = breakdown[s].sim_time_ms;
+    }
+  }
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

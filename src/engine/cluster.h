@@ -31,6 +31,7 @@
 #include "netsim/network.h"
 #include "simkern/rng.h"
 #include "simkern/scheduler.h"
+#include "simkern/tracer.h"
 #include "workload/trace.h"
 
 namespace pdblb {
@@ -56,6 +57,11 @@ class Cluster {
   MetricsCollector& metrics() { return metrics_; }
   ProcessingElement& pe(PeId id) { return *pes_[id]; }
   int num_pes() const { return config_.num_pes; }
+
+  /// The event tracer, when config.trace.enabled and the build has tracing
+  /// compiled in; nullptr otherwise.  Valid for the Cluster's lifetime —
+  /// read the retained trace (or dump it via Tracer::WriteCsv) after Run().
+  const sim::Tracer* tracer() const { return tracer_.get(); }
 
   /// Precomputed planning inputs for the configured join class.
   const JoinPlanRequest& plan_request() const { return plan_request_; }
@@ -93,6 +99,7 @@ class Cluster {
 
   SystemConfig config_;
   sim::Scheduler sched_;
+  std::unique_ptr<sim::Tracer> tracer_;
   /// Shared Disk mode only: the global spindle pool and its (unused) CPU.
   std::unique_ptr<sim::Resource> storage_cpu_;
   std::unique_ptr<DiskArray> shared_disks_;

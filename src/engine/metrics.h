@@ -6,10 +6,12 @@
 #ifndef PDBLB_ENGINE_METRICS_H_
 #define PDBLB_ENGINE_METRICS_H_
 
+#include <array>
 #include <cstdint>
 
 #include "common/units.h"
 #include "simkern/stats.h"
+#include "simkern/trace_ring.h"
 
 namespace pdblb {
 
@@ -157,6 +159,17 @@ struct MetricsReport {
   uint64_t kernel_handoffs = 0;
   double wall_seconds = 0.0;
   double kernel_events_per_sec = 0.0;
+
+  // Per-subsystem attribution of the event trace (whole run, including
+  // warm-up and drain), filled when SystemConfig::trace.enabled and the
+  // build has tracing compiled in (sim::kTraceCompiledIn); all zeros
+  // otherwise.  Indexed by sim::TraceSubsystem.  trace_subsystem_time_ms[s]
+  // is the simulated time advanced by dispatches attributed to s ("where
+  // does simulated time go"); both arrays are seed-deterministic and safe
+  // for determinism comparisons.
+  bool trace_enabled = false;
+  std::array<uint64_t, sim::kNumTraceSubsystems> trace_subsystem_events{};
+  std::array<double, sim::kNumTraceSubsystems> trace_subsystem_time_ms{};
 };
 
 }  // namespace pdblb

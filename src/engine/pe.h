@@ -27,19 +27,28 @@ class ProcessingElement {
   ProcessingElement(sim::Scheduler& sched, const SystemConfig& config,
                     PeId id, DiskArray* shared_disks = nullptr)
       : id_(id),
-        cpu_(sched, config.cpus_per_pe, "pe" + std::to_string(id) + ".cpu"),
+        cpu_(sched, config.cpus_per_pe, "pe" + std::to_string(id) + ".cpu",
+             sim::TraceTag(sim::TraceSubsystem::kCpu,
+                           static_cast<uint16_t>(id))),
         disks_(shared_disks == nullptr
                    ? std::make_unique<DiskArray>(
                          sched, config.disk, config.costs, config.mips_per_pe,
-                         cpu_, "pe" + std::to_string(id))
+                         cpu_, "pe" + std::to_string(id),
+                         sim::TraceTag(sim::TraceSubsystem::kDisk,
+                                       static_cast<uint16_t>(id)))
                    : std::make_unique<DiskArray>(
                          sched, config.disk, config.costs, config.mips_per_pe,
-                         cpu_, "pe" + std::to_string(id), *shared_disks)),
+                         cpu_, "pe" + std::to_string(id), *shared_disks,
+                         sim::TraceTag(sim::TraceSubsystem::kDisk,
+                                       static_cast<uint16_t>(id)))),
         buffer_(sched, config.buffer, *disks_,
                 "pe" + std::to_string(id) + ".buf"),
-        locks_(sched),
+        locks_(sched, sim::TraceTag(sim::TraceSubsystem::kLock,
+                                    static_cast<uint16_t>(id))),
         admission_(sched, config.multiprogramming_level,
-                   "pe" + std::to_string(id) + ".mpl") {}
+                   "pe" + std::to_string(id) + ".mpl",
+                   sim::TraceTag(sim::TraceSubsystem::kAdmission,
+                                 static_cast<uint16_t>(id))) {}
 
   PeId id() const { return id_; }
   sim::Resource& cpu() { return cpu_; }

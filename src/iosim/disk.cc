@@ -18,24 +18,26 @@ sim::Task<> SpawnedUse(sim::Resource& res, SimTime duration) {
 
 DiskArray::DiskArray(sim::Scheduler& sched, const DiskConfig& config,
                      const CpuCosts& costs, double mips, sim::Resource& cpu,
-                     std::string name)
+                     std::string name, sim::TraceTag tag)
     : sched_(sched), config_(config), costs_(costs), mips_(mips), cpu_(cpu),
-      name_(std::move(name)) {
+      name_(std::move(name)), tag_(tag) {
   for (int i = 0; i < config_.disks_per_pe; ++i) {
     disks_.push_back(std::make_shared<sim::Resource>(
-        sched_, 1, name_ + ".disk" + std::to_string(i)));
+        sched_, 1, name_ + ".disk" + std::to_string(i), tag_));
   }
-  controller_ = std::make_unique<sim::Resource>(sched_, 1, name_ + ".ctrl");
-  log_disk_ = std::make_unique<sim::Resource>(sched_, 1, name_ + ".log");
+  controller_ =
+      std::make_unique<sim::Resource>(sched_, 1, name_ + ".ctrl", tag_);
+  log_disk_ = std::make_unique<sim::Resource>(sched_, 1, name_ + ".log", tag_);
 }
 
 DiskArray::DiskArray(sim::Scheduler& sched, const DiskConfig& config,
                      const CpuCosts& costs, double mips, sim::Resource& cpu,
-                     std::string name, DiskArray& master)
+                     std::string name, DiskArray& master, sim::TraceTag tag)
     : sched_(sched), config_(config), costs_(costs), mips_(mips), cpu_(cpu),
-      name_(std::move(name)), disks_(master.disks_) {
-  controller_ = std::make_unique<sim::Resource>(sched_, 1, name_ + ".ctrl");
-  log_disk_ = std::make_unique<sim::Resource>(sched_, 1, name_ + ".log");
+      name_(std::move(name)), tag_(tag), disks_(master.disks_) {
+  controller_ =
+      std::make_unique<sim::Resource>(sched_, 1, name_ + ".ctrl", tag_);
+  log_disk_ = std::make_unique<sim::Resource>(sched_, 1, name_ + ".log", tag_);
 }
 
 sim::Resource& DiskArray::DiskFor(PageKey page) {
@@ -70,7 +72,7 @@ sim::Task<> DiskArray::Read(PageKey page, AccessPattern pattern) {
     ++cache_hits_;
     CacheInsert(page);  // refresh LRU position
     co_await controller_->Use(config_.controller_time_per_page_ms);
-    co_await sched_.Delay(config_.transmission_time_per_page_ms);
+    co_await sched_.Delay(config_.transmission_time_per_page_ms, tag_);
     co_return;
   }
 
@@ -82,7 +84,7 @@ sim::Task<> DiskArray::Read(PageKey page, AccessPattern pattern) {
   for (int i = 0; i < fetch; ++i) {
     CacheInsert(PageKey{page.relation_id, page.page_no + i});
   }
-  co_await sched_.Delay(config_.transmission_time_per_page_ms);
+  co_await sched_.Delay(config_.transmission_time_per_page_ms, tag_);
 }
 
 sim::Task<> DiskArray::ReadStriped(PageKey first, int64_t count) {
@@ -113,7 +115,7 @@ sim::Task<> DiskArray::ReadStriped(PageKey first, int64_t count) {
     i += fetch;
   }
   co_await batches.Wait();
-  co_await sched_.Delay(config_.transmission_time_per_page_ms);
+  co_await sched_.Delay(config_.transmission_time_per_page_ms, tag_);
 }
 
 sim::Task<> DiskArray::ReadBatchFromDisk(PageKey first, int pages) {
@@ -127,7 +129,7 @@ sim::Task<> DiskArray::WriteBatch(PageKey first, int count) {
   assert(count >= 1);
   co_await cpu_.Use(InstructionsToMs(costs_.io_overhead, mips_));
   ++physical_writes_;
-  co_await sched_.Delay(config_.transmission_time_per_page_ms * count);
+  co_await sched_.Delay(config_.transmission_time_per_page_ms * count, tag_);
   co_await controller_->Use(config_.controller_time_per_page_ms * count);
   co_await DiskFor(first).Use(config_.avg_access_time_ms +
                               config_.prefetch_delay_per_page_ms * count);

@@ -42,9 +42,12 @@ enum class AccessPattern {
 /// constructor below).
 class DiskArray {
  public:
+  /// `tag` attributes this array's disk/controller/log wake-ups and page
+  /// transmissions in event traces (typically TraceTag(kDisk, pe_id)).
   DiskArray(sim::Scheduler& sched, const DiskConfig& config,
             const CpuCosts& costs, double mips, sim::Resource& cpu,
-            std::string name);
+            std::string name,
+            sim::TraceTag tag = sim::TraceTag(sim::TraceSubsystem::kDisk));
 
   /// Shared Disk facade: this array serves I/O from the *same spindles* as
   /// `master` (the global pool of the storage subsystem), while the per-I/O
@@ -53,7 +56,8 @@ class DiskArray {
   /// generate contention on the shared spindles.
   DiskArray(sim::Scheduler& sched, const DiskConfig& config,
             const CpuCosts& costs, double mips, sim::Resource& cpu,
-            std::string name, DiskArray& master);
+            std::string name, DiskArray& master,
+            sim::TraceTag tag = sim::TraceTag(sim::TraceSubsystem::kDisk));
 
   /// Reads one page.  Sequential reads prefetch into the controller cache.
   sim::Task<> Read(PageKey page, AccessPattern pattern);
@@ -102,6 +106,7 @@ class DiskArray {
   double mips_;
   sim::Resource& cpu_;
   std::string name_;
+  sim::TraceTag tag_;
 
   std::vector<std::shared_ptr<sim::Resource>> disks_;  // shared in SD mode
   std::unique_ptr<sim::Resource> controller_;

@@ -93,7 +93,7 @@ void LockManager::GrantWaiters(LockKey key, Entry& entry) {
     ++locks_granted_;
     w->granted = true;
     assert(w->handle);
-    sched_.ScheduleHandle(sched_.Now(), w->handle);
+    sched_.ScheduleHandle(sched_.Now(), w->handle, tag_);
   }
 }
 
@@ -142,7 +142,7 @@ bool LockManager::AbortWaiter(TxnId victim) {
         it = entry.waiters.erase(it);
         w->aborted = true;
         assert(w->handle);
-        sched_.ScheduleHandle(sched_.Now(), w->handle);
+        sched_.ScheduleHandle(sched_.Now(), w->handle, tag_);
         found = true;
       } else {
         ++it;

@@ -57,7 +57,11 @@ struct WaitForEdge {
 /// Per-PE lock table implementing strict 2PL.
 class LockManager {
  public:
-  explicit LockManager(sim::Scheduler& sched) : sched_(sched) {}
+  /// `tag` attributes grant/abort wake-ups in event traces.
+  explicit LockManager(
+      sim::Scheduler& sched,
+      sim::TraceTag tag = sim::TraceTag(sim::TraceSubsystem::kLock))
+      : sched_(sched), tag_(tag) {}
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
@@ -114,6 +118,7 @@ class LockManager {
   void GrantWaiters(LockKey key, Entry& entry);
 
   sim::Scheduler& sched_;
+  sim::TraceTag tag_;
   std::unordered_map<LockKey, Entry, LockKeyHash> table_;
   std::unordered_map<TxnId, std::vector<LockKey>> held_;
 

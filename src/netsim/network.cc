@@ -29,9 +29,13 @@ sim::Task<> Network::Transfer(PeId src, PeId dst, int64_t bytes) {
   co_await cpus_[src]->Use(InstructionsToMs(
       costs_.send_message + costs_.copy_message * packets, mips_));
 
-  // Wire latency (store-and-forward across packets).
-  co_await sched_.Delay(config_.wire_time_per_packet_ms *
-                        static_cast<double>(packets));
+  // Wire latency (store-and-forward across packets).  Traced as network
+  // time with the sending PE as origin; the CPU shares of the transfer are
+  // charged on (and attributed to) the endpoint CPUs above/below.
+  co_await sched_.Delay(
+      config_.wire_time_per_packet_ms * static_cast<double>(packets),
+      sim::TraceTag(sim::TraceSubsystem::kNetwork,
+                    static_cast<uint16_t>(src)));
 
   // Receiver-side CPU.
   co_await cpus_[dst]->Use(InstructionsToMs(

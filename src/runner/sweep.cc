@@ -6,7 +6,10 @@
 #include <cstdio>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
+
+#include "simkern/tracer.h"
 
 #include "engine/cluster.h"
 #include "simkern/task.h"
@@ -56,12 +59,31 @@ std::vector<SweepResult> Sweep::Run(const SweepOptions& options) const {
         if (options.derive_point_seeds) {
           cfg.seed = PointSeed(options.root_seed, point.declared_index);
         }
+        if (!options.trace_path.empty()) {
+          cfg.trace.enabled = true;
+          cfg.trace.capacity = options.trace_capacity;
+        }
         Cluster cluster(cfg);
         SweepResult& slot = results[i];
         slot.grid_index = i;
         slot.point = point;
         slot.point.config = cfg;  // record the effective (seeded) config
         slot.report = cluster.Run();
+        if (!options.trace_path.empty()) {
+          // Per-point trace dump, named by the declared grid index so a
+          // filtered or multi-job run produces the same files.  Distinct
+          // paths per point: safe to write from concurrent workers.
+          std::string path = options.trace_path + "." +
+                             std::to_string(point.declared_index) + ".csv";
+          // PDBLB_TRACE=OFF builds have no tracer on the cluster; an empty
+          // Tracer (compiled unconditionally) writes the identical
+          // header-only file, keeping the --trace file set and format the
+          // same across build modes.
+          Status st = cluster.tracer() != nullptr
+                          ? cluster.tracer()->WriteCsv(path)
+                          : sim::Tracer(/*capacity=*/1).WriteCsv(path);
+          if (!st.ok()) throw std::runtime_error(st.ToString());
+        }
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);

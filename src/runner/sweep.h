@@ -81,6 +81,16 @@ struct SweepOptions {
   std::function<void(const SweepPoint& point, const MetricsReport& report,
                      size_t finished, size_t total)>
       on_point_done;
+
+  /// When non-empty, event tracing is enabled for every point (overriding
+  /// point.config.trace) and each point's retained trace is dumped to
+  /// "<trace_path>.<declared_index>.csv" as it completes.  File names
+  /// derive from the grid index, so — like the CSV — the set of trace
+  /// files and their bytes are identical for every --jobs value.  In
+  /// PDBLB_TRACE=OFF builds each file holds only the CSV header.
+  std::string trace_path;
+  /// Ring capacity per point when trace_path is set.
+  int64_t trace_capacity = 1 << 20;
 };
 
 /// A declared grid of sweep points.

@@ -30,6 +30,10 @@ namespace pdblb::sim {
 /// is not already promised to one of them, which keeps wake-ups exact and
 /// starvation-free.  Close() broadcasts through the calendar instead — its
 /// waiters keep their FIFO positions relative to other same-time events.
+/// Once the channel is closed a receiver never suspends: either an
+/// unpromised value is available, or every remaining value belongs to an
+/// already-woken consumer and the receiver observes the close (returns
+/// nullopt) immediately — nobody is left to wake it later.
 ///
 /// Both the value queue and the waiter queue are recycled ring buffers with
 /// a small inline capacity, so a per-query channel whose queues stay short
@@ -37,7 +41,14 @@ namespace pdblb::sim {
 template <typename T>
 class Channel {
  public:
-  explicit Channel(Scheduler& sched) : sched_(sched) {}
+  /// `tag` attributes this channel's *calendar* wake-ups (the Close
+  /// broadcast) in event traces.  Send hand-offs always record as
+  /// channel/0: the hand-off lane is statically attributed (see
+  /// Scheduler::HandOff), so a per-channel origin is only visible on
+  /// close wakes.
+  explicit Channel(Scheduler& sched,
+                   TraceTag tag = TraceTag(TraceSubsystem::kChannel))
+      : sched_(sched), tag_(tag) {}
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
@@ -47,7 +58,7 @@ class Channel {
     assert(!closed_ && "Send on closed channel");
     values_.push_back(std::move(value));
     if (!waiters_.empty()) {
-      sched_.HandOff(waiters_.front());
+      sched_.HandOff(waiters_.front(), tag_);
       waiters_.pop_front();
       ++pending_wakeups_;
     }
@@ -60,7 +71,7 @@ class Channel {
     closed_ = true;
     // Wake everyone; those that find no value observe the close.
     while (!waiters_.empty()) {
-      sched_.ScheduleHandle(sched_.Now(), waiters_.front());
+      sched_.ScheduleHandle(sched_.Now(), waiters_.front(), tag_);
       waiters_.pop_front();
       ++pending_wakeups_;
     }
@@ -81,7 +92,11 @@ class Channel {
             static_cast<size_t>(ch->pending_wakeups_)) {
           return true;
         }
-        return ch->closed_ && ch->values_.empty();
+        // A closed channel never suspends a receiver: with every remaining
+        // value promised to an already-woken consumer there is no future
+        // Send or Close left to wake it — it would hang forever.  The
+        // resume path below turns this case into an immediate nullopt.
+        return ch->closed_;
       }
       void await_suspend(std::coroutine_handle<> h) {
         suspended = true;
@@ -91,6 +106,12 @@ class Channel {
         if (suspended) {
           assert(ch->pending_wakeups_ > 0);
           --ch->pending_wakeups_;
+        } else if (ch->values_.size() <=
+                   static_cast<size_t>(ch->pending_wakeups_)) {
+          // Synchronous resume on a closed channel whose remaining values
+          // are all promised to woken consumers: observe the close.
+          assert(ch->closed_);
+          return std::nullopt;
         }
         if (ch->values_.empty()) {
           assert(ch->closed_);
@@ -106,6 +127,7 @@ class Channel {
 
  private:
   Scheduler& sched_;
+  TraceTag tag_;
   RingBuffer<T, 4> values_;
   RingBuffer<std::coroutine_handle<>, 4> waiters_;
   int pending_wakeups_ = 0;

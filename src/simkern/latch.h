@@ -19,7 +19,10 @@ namespace pdblb::sim {
 /// simulation time of the final count-down.
 class Latch {
  public:
-  Latch(Scheduler& sched, int count) : sched_(sched), count_(count) {
+  /// `tag` attributes the fan-out wake-ups in event traces.
+  Latch(Scheduler& sched, int count,
+        TraceTag tag = TraceTag(TraceSubsystem::kLatch))
+      : sched_(sched), tag_(tag), count_(count) {
     assert(count >= 0);
   }
   Latch(const Latch&) = delete;
@@ -31,7 +34,7 @@ class Latch {
       // Fan-out goes through the calendar (not ResumeInline): waiters keep
       // their FIFO positions relative to other events at this timestamp.
       while (!waiters_.empty()) {
-        sched_.ScheduleHandle(sched_.Now(), waiters_.front());
+        sched_.ScheduleHandle(sched_.Now(), waiters_.front(), tag_);
         waiters_.pop_front();
       }
     }
@@ -54,6 +57,7 @@ class Latch {
 
  private:
   Scheduler& sched_;
+  TraceTag tag_;
   int count_;
   // Inline capacity 4: latches are constructed per fork/join and almost
   // always have a single waiter (the forking parent), so waiting is

@@ -4,8 +4,9 @@
 
 namespace pdblb::sim {
 
-Resource::Resource(Scheduler& sched, int servers, std::string name)
-    : sched_(sched), name_(std::move(name)), servers_(servers),
+Resource::Resource(Scheduler& sched, int servers, std::string name,
+                   TraceTag tag)
+    : sched_(sched), name_(std::move(name)), tag_(tag), servers_(servers),
       free_(servers) {
   assert(servers >= 1);
   last_change_ = sched_.Now();
@@ -40,7 +41,8 @@ void Resource::Release() {
     waiters_.pop_front();
     Grant();
     sched_.ScheduleHandle(
-        w.service < 0.0 ? sched_.Now() : sched_.Now() + w.service, w.handle);
+        w.service < 0.0 ? sched_.Now() : sched_.Now() + w.service, w.handle,
+        tag_);
   }
 }
 

@@ -38,7 +38,11 @@ namespace pdblb::sim {
 /// coroutine-based Use() used to pay.
 class Resource {
  public:
-  Resource(Scheduler& sched, int servers, std::string name = "");
+  /// `tag` attributes this station's end-of-service and grant wake-ups in
+  /// event traces (default: kKernel — callers that model a real subsystem
+  /// pass e.g. TraceTag(TraceSubsystem::kCpu, pe_id)).
+  Resource(Scheduler& sched, int servers, std::string name = "",
+           TraceTag tag = {});
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
 
@@ -79,7 +83,8 @@ class Resource {
           // Server available: the service interval starts now; resume the
           // caller when it ends.
           res->Grant();
-          res->sched_.ScheduleHandle(res->sched_.Now() + service, h);
+          res->sched_.ScheduleHandle(res->sched_.Now() + service, h,
+                                     res->tag_);
         } else {
           res->Enqueue(h, service);
         }
@@ -131,6 +136,7 @@ class Resource {
 
   Scheduler& sched_;
   std::string name_;
+  TraceTag tag_;
   int servers_;
   int free_;
   RingBuffer<Waiter> waiters_;

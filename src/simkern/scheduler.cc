@@ -155,8 +155,50 @@ void Scheduler::Dispatch(const Event& event) {
   }
 }
 
+#if PDBLB_TRACE
+void Scheduler::RunTraced(SimTime until) {
+  Event event;
+  while (true) {
+    if (!handoffs_.empty()) {
+      std::coroutine_handle<> h = handoffs_.front();
+      handoffs_.pop_front();
+      ++inline_resumes_;
+      // Lane resumes record statically as kChannel (see HandOff()).
+      tracer_->Record(now_, TraceEventKind::kHandOff,
+                      TraceTag(TraceSubsystem::kChannel).bits,
+                      inline_resumes_);
+      h.resume();
+      continue;
+    }
+    if (!PopNext(&event, until)) break;
+    now_ = event.at;
+    ++events_processed_;
+    // The record's seq is the event's schedule-time sequence number (the
+    // high bits of the packed word); the tag and the ring/calendar source
+    // bit ride in the low bits (see PushEvent).
+    tracer_->Record(event.at,
+                    (event.seq & kTraceRingBit) ? TraceEventKind::kZeroDelay
+                                                : TraceEventKind::kCalendar,
+                    static_cast<uint16_t>(event.seq),
+                    event.seq >> kTraceTagShift);
+    if ((event.h & 1u) == 0) {
+      std::coroutine_handle<>::from_address(reinterpret_cast<void*>(event.h))
+          .resume();
+    } else {
+      RunCallbackCell(static_cast<uint32_t>(event.h >> 1));
+    }
+  }
+}
+#endif
+
 void Scheduler::Run() {
   constexpr SimTime kForever = std::numeric_limits<SimTime>::infinity();
+#if PDBLB_TRACE
+  if (tracer_ != nullptr) {
+    RunTraced(kForever);
+    return;
+  }
+#endif
   Event event;
   while (true) {
     // The hand-off lane drains before the calendar: its entries are ready
@@ -171,6 +213,13 @@ void Scheduler::Run() {
 }
 
 void Scheduler::RunUntil(SimTime until) {
+#if PDBLB_TRACE
+  if (tracer_ != nullptr) {
+    RunTraced(until);
+    if (now_ < until) now_ = until;
+    return;
+  }
+#endif
   Event event;
   while (true) {
     if (!handoffs_.empty()) {

@@ -24,6 +24,14 @@
 //    callables inline (small-buffer optimization), and coroutine frames
 //    are recycled through a size-bucketed arena (task.h), so steady-state
 //    dispatch performs no heap allocations per event.
+//  * Optional event tracing (trace_ring.h / tracer.h): every schedule call
+//    carries a 16-bit TraceTag packed into the low bits of the event's
+//    sequence word (ordering is decided by the high 47 bits, so FIFO
+//    semantics are untouched).  Run/RunUntil check for an attached Tracer
+//    once per call and select either the untraced drain loop — identical
+//    to the pre-tracing kernel — or a traced twin that writes one 16-byte
+//    record per event into a pre-allocated ring; with PDBLB_TRACE=0 the
+//    hooks do not exist at all.
 
 #ifndef PDBLB_SIMKERN_SCHEDULER_H_
 #define PDBLB_SIMKERN_SCHEDULER_H_
@@ -42,6 +50,8 @@
 #include "common/units.h"
 #include "simkern/ring.h"
 #include "simkern/task.h"
+#include "simkern/trace_ring.h"
+#include "simkern/tracer.h"
 
 namespace pdblb::sim {
 
@@ -57,16 +67,19 @@ class Scheduler {
   SimTime Now() const { return now_; }
 
   /// Schedules `handle` to be resumed at absolute time `at` (>= Now()).
-  void ScheduleHandle(SimTime at, std::coroutine_handle<> handle) {
+  /// `tag` attributes the eventual dispatch to a subsystem for tracing
+  /// (default: kKernel); it never affects scheduling semantics.
+  void ScheduleHandle(SimTime at, std::coroutine_handle<> handle,
+                      TraceTag tag = {}) {
     assert(handle);
-    PushEvent(at, reinterpret_cast<uint64_t>(handle.address()));
+    PushEvent(at, reinterpret_cast<uint64_t>(handle.address()), tag);
   }
 
   /// Schedules `fn` to run at absolute time `at` (>= Now()).  Callables up
   /// to kInlineCallbackBytes are stored inline in a recycled cell (no heap
   /// allocation); larger ones fall back to the heap.
   template <typename F>
-  void ScheduleCallback(SimTime at, F&& fn) {
+  void ScheduleCallback(SimTime at, F&& fn, TraceTag tag = {}) {
     using Fn = std::decay_t<F>;
     uint32_t idx = AllocCell();
     CallbackCell& cell = CellAt(idx);
@@ -100,7 +113,7 @@ class Scheduler {
       free_cells_.push_back(idx);  // reserved capacity: cannot throw
       throw;
     }
-    PushEvent(at, (static_cast<uint64_t>(idx) << 1) | 1u);
+    PushEvent(at, (static_cast<uint64_t>(idx) << 1) | 1u, tag);
   }
 
   /// Starts a detached simulation process at the current time.  The frame
@@ -122,13 +135,23 @@ class Scheduler {
   /// fan-out broadcasts) must keep scheduling through the calendar.
   /// Dispatch stays fully deterministic: hand-offs occur at fixed points of
   /// the event sequence.
-  void HandOff(std::coroutine_handle<> h) {
+  /// The `tag` parameter is accepted for call-site symmetry but the lane
+  /// records statically as kChannel: channels are the lane's only client
+  /// (see the contract above), and a per-entry tag would either widen the
+  /// 8-byte entry or cost a branch per Send — measurable on the 5 ns/op
+  /// channel shapes.  A future non-channel client that needs attribution
+  /// should reintroduce a parallel tag ring gated on the tracer.
+  void HandOff(std::coroutine_handle<> h, TraceTag tag = {}) {
     assert(h);
+    (void)tag;
     handoffs_.push_back(h);
   }
 
   /// Awaitable that suspends the current process for `delta` milliseconds.
   /// A zero delay still yields through the event queue (FIFO fairness).
+  /// Attributed to kKernel; this overload carries no tag on the awaiter,
+  /// so the default-tag constant folds through the inlined push and the
+  /// hot zero-delay path pays nothing for tracing support.
   auto Delay(SimTime delta) {
     struct Awaiter {
       Scheduler* sched;
@@ -141,6 +164,23 @@ class Scheduler {
     };
     assert(delta >= 0.0);
     return Awaiter{this, now_ + delta};
+  }
+
+  /// Delay attributed to `tag` in event traces (disk transmission, network
+  /// wire latency).  The tag rides on the awaiter frame until suspension.
+  auto Delay(SimTime delta, TraceTag tag) {
+    struct Awaiter {
+      Scheduler* sched;
+      SimTime at;
+      TraceTag tag;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sched->ScheduleHandle(at, h, tag);
+      }
+      void await_resume() const noexcept {}
+    };
+    assert(delta >= 0.0);
+    return Awaiter{this, now_ + delta, tag};
   }
 
   /// Runs until the event calendar is empty.
@@ -159,6 +199,27 @@ class Scheduler {
   void RequestShutdown() { shutting_down_ = true; }
   bool ShuttingDown() const { return shutting_down_; }
 
+  /// Attaches (or detaches, with nullptr) an event tracer: every dispatch
+  /// and hand-off resume is recorded until detached.  Takes effect at the
+  /// next Run/RunUntil call (the drain loop binds to the tracer once per
+  /// call, keeping the untraced loop identical to the pre-tracing kernel);
+  /// must not be called from inside a running simulation process.  The
+  /// tracer must outlive its attachment.  No-op in PDBLB_TRACE=0 builds.
+  void AttachTracer(Tracer* tracer) {
+#if PDBLB_TRACE
+    tracer_ = tracer;
+#else
+    (void)tracer;
+#endif
+  }
+  Tracer* tracer() const {
+#if PDBLB_TRACE
+    return tracer_;
+#else
+    return nullptr;
+#endif
+  }
+
   /// Number of events processed since construction (diagnostics).
   uint64_t events_processed() const { return events_processed_; }
   /// Number of calendar-bypassing hand-off resumes (diagnostics).  Counted
@@ -170,7 +231,10 @@ class Scheduler {
 
  private:
   // One calendar entry.  `h` is a tagged word: coroutine handle address
-  // (low bit 0) or (callback cell index << 1) | 1.
+  // (low bit 0) or (callback cell index << 1) | 1.  In tracing builds the
+  // low kTraceTagShift bits of `seq` hold the packed TraceTag; the real
+  // sequence number occupies the high bits, so Precedes() needs no mask
+  // (distinct events always differ in the high bits).
   struct Event {
     SimTime at;
     uint64_t seq;
@@ -210,7 +274,30 @@ class Scheduler {
   void GrowCellSlab();
 
   // --- calendar -----------------------------------------------------------
-  void PushEvent(SimTime at, uint64_t h) {
+#if PDBLB_TRACE
+  // next_seq_ is kept pre-scaled (stepped by 1 << kTraceTagShift) so a push
+  // pays one OR for the tag — no shift — versus the untraced kernel; with
+  // the default tag the OR constant-folds away entirely.  The sequence
+  // bump stays inside each branch (as in the pre-tracing kernel) so the
+  // branch does not wait on the seq data flow.
+  void PushEvent(SimTime at, uint64_t h, TraceTag tag) {
+    assert(at >= now_);
+    constexpr uint64_t kSeqStep = uint64_t{1} << kTraceTagShift;
+    if (at == now_) {
+      // The ring bit lets the traced dispatch loop label the record's
+      // source structure without any side-channel from the pop path.
+      uint64_t seq = next_seq_ | tag.bits | kTraceRingBit;
+      next_seq_ += kSeqStep;
+      RingPush(Event{at, seq, h});
+    } else {
+      uint64_t seq = next_seq_ | tag.bits;
+      next_seq_ += kSeqStep;
+      heap_.push_back(Event{at, seq, h});
+      SiftUp(heap_.size() - 1);
+    }
+  }
+#else
+  void PushEvent(SimTime at, uint64_t h, TraceTag) {
     assert(at >= now_);
     if (at == now_) {
       RingPush(Event{at, next_seq_++, h});
@@ -219,6 +306,7 @@ class Scheduler {
       SiftUp(heap_.size() - 1);
     }
   }
+#endif
 
   void SiftUp(size_t i);
   Event HeapPop();
@@ -239,6 +327,15 @@ class Scheduler {
   bool PopNext(Event* out, SimTime until);
 
   void Dispatch(const Event& event);
+#if PDBLB_TRACE
+  // Traced twin of the Run/RunUntil drain loop.  The tracer check happens
+  // once per Run call, not once per event: with no tracer attached the
+  // drain loop and Dispatch are instruction-identical to the pre-tracing
+  // kernel.  (Consequence: AttachTracer takes effect at the next
+  // Run/RunUntil call and must not be called from inside a running
+  // simulation process.)
+  void RunTraced(SimTime until);
+#endif
   void RunCallbackCell(uint32_t idx);
   void DestroyPendingCallback(const Event& event);
 
@@ -264,6 +361,9 @@ class Scheduler {
   uint64_t events_processed_ = 0;
   uint64_t inline_resumes_ = 0;
   bool shutting_down_ = false;
+#if PDBLB_TRACE
+  Tracer* tracer_ = nullptr;
+#endif
 };
 
 /// Awaits all tasks in `tasks` concurrently; completes when the last one

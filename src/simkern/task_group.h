@@ -22,7 +22,10 @@ namespace pdblb::sim {
 /// `co_await group.Wait()` before the frame dies).
 class TaskGroup {
  public:
-  explicit TaskGroup(Scheduler& sched) : sched_(sched) {}
+  /// `tag` attributes the join wake-ups in event traces.
+  explicit TaskGroup(Scheduler& sched,
+                     TraceTag tag = TraceTag(TraceSubsystem::kTaskGroup))
+      : sched_(sched), tag_(tag) {}
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
@@ -57,13 +60,14 @@ class TaskGroup {
   void Finish() {
     if (--active_ == 0) {
       while (!waiters_.empty()) {
-        sched_.ScheduleHandle(sched_.Now(), waiters_.front());
+        sched_.ScheduleHandle(sched_.Now(), waiters_.front(), tag_);
         waiters_.pop_front();
       }
     }
   }
 
   Scheduler& sched_;
+  TraceTag tag_;
   int active_ = 0;
   // Like Latch: groups are constructed per query and typically have one
   // waiter, which the inline capacity absorbs without an allocation.

@@ -17,6 +17,7 @@
 #include "simkern/resource.h"
 #include "simkern/scheduler.h"
 #include "simkern/task.h"
+#include "simkern/tracer.h"
 
 namespace {
 uint64_t g_allocations = 0;
@@ -223,6 +224,59 @@ TEST(SchedulerAllocTest, LatchFanOutAllocatesNothing) {
   EXPECT_GT(joins - joins_before, 10000u);
   EXPECT_EQ(g_allocations - allocations_before, 0u)
       << "latch fork/join fan-out must not allocate in steady state";
+}
+
+// Tracing must preserve the zero-allocation guarantee: the record ring is
+// pre-allocated at Tracer construction and the per-dispatch Record() only
+// writes into it (wrapping in place once full — the 4096-record ring here
+// wraps thousands of times below).  In a PDBLB_TRACE=OFF build AttachTracer
+// is a no-op and this test degenerates to the plain dispatch test, so the
+// compiled-out path is covered by the same assertion in the OFF CI build.
+TEST(SchedulerAllocTest, DispatchWithTracingEnabledAllocatesNothing) {
+  Scheduler sched;
+  Tracer tracer(/*capacity=*/4096);
+  sched.AttachTracer(&tracer);
+  sched.Reserve(/*events=*/1024, /*callbacks=*/256);
+
+  constexpr int64_t kRounds = 200000;
+  for (int i = 0; i < 8; ++i) {
+    sched.Spawn(TimerLoop(sched, 1.0 + 0.013 * i, kRounds));
+  }
+  for (int i = 0; i < 2; ++i) {
+    sched.Spawn(ZeroDelayLoop(sched, kRounds));
+  }
+  Resource res(sched, /*servers=*/2, "cpu",
+               TraceTag(TraceSubsystem::kCpu, 1));
+  for (int i = 0; i < 8; ++i) {
+    sched.Spawn(ContendedClient(sched, res, 0.4 + 0.01 * i, kRounds));
+  }
+  Channel<int64_t> ch(sched);
+  uint64_t received = 0;
+  sched.Spawn(PingPongConsumer(ch, &received));
+  sched.Spawn(PingPongProducer(sched, ch, /*burst=*/16, /*rounds=*/kRounds));
+
+  sched.RunUntil(500.0);  // warm-up
+  uint64_t events_before = sched.events_processed();
+  ASSERT_GT(events_before, 10000u);
+
+  uint64_t allocations_before = g_allocations;
+  sched.RunUntil(5000.0);
+  uint64_t dispatched = sched.events_processed() - events_before;
+  EXPECT_GT(dispatched, 50000u);
+  EXPECT_EQ(g_allocations - allocations_before, 0u)
+      << "dispatching " << dispatched
+      << " events with tracing enabled must not allocate";
+
+  if (kTraceCompiledIn) {
+    EXPECT_GT(tracer.ring().total(), tracer.ring().capacity())
+        << "shape did not exercise ring wrap-around";
+    uint64_t recorded = 0;
+    for (const TraceBreakdown& b : tracer.breakdown()) recorded += b.events;
+    EXPECT_EQ(recorded,
+              sched.events_processed() + sched.inline_resumes());
+  } else {
+    EXPECT_EQ(tracer.ring().total(), 0u);
+  }
 }
 
 TEST(SchedulerAllocTest, AllocationCounterIsLive) {

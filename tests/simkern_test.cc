@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <utility>
@@ -368,6 +369,86 @@ TEST(ChannelTest, CloseWithoutValuesUnblocksConsumer) {
   sched.ScheduleCallback(5.0, [&] { ch.Close(); });
   sched.Run();
   EXPECT_TRUE(got.empty());
+}
+
+Task<> FlaggedConsumer(Channel<int>& ch, std::vector<int>* got, bool* done) {
+  while (true) {
+    auto v = co_await ch.Receive();
+    if (!v.has_value()) break;
+    got->push_back(*v);
+  }
+  *done = true;
+}
+
+// Regression: Receive() on a closed-but-not-drained channel used to suspend
+// forever when every remaining value was already promised to a pending
+// wakeup — nobody was left to wake the new waiter.  Here both values are
+// promised (hand-off wakeups for c1 and c2); c1 drains its value and loops
+// into another Receive while c2's value is still in the queue.  That second
+// Receive must observe the close immediately instead of parking c1 forever.
+TEST(ChannelTest, CloseWithPromisedValuesDoesNotStrandLoopingConsumer) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  std::vector<int> got1, got2;
+  bool done1 = false, done2 = false;
+  sched.Spawn(FlaggedConsumer(ch, &got1, &done1));
+  sched.Spawn(FlaggedConsumer(ch, &got2, &done2));
+  sched.ScheduleCallback(1.0, [&] {
+    ch.Send(1);  // promised to c1 (hand-off wakeup)
+    ch.Send(2);  // promised to c2 (hand-off wakeup)
+    ch.Close();
+  });
+  sched.Run();
+  EXPECT_TRUE(done1) << "consumer 1 stranded on the closed channel";
+  EXPECT_TRUE(done2) << "consumer 2 stranded on the closed channel";
+  EXPECT_EQ(got1, (std::vector<int>{1}));
+  EXPECT_EQ(got2, (std::vector<int>{2}));
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+// Multi-consumer close/drain: wakeups arrive through both paths (hand-off
+// lane for Send, calendar broadcast for Close).  Every consumer must
+// terminate, every value must be delivered exactly once, and the late
+// receivers must observe the close.
+TEST(ChannelTest, MultiConsumerCloseDrainsAllValuesAndUnblocksEveryone) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  constexpr int kConsumers = 4;
+  std::vector<int> got[kConsumers];
+  bool done[kConsumers] = {};
+  for (int i = 0; i < kConsumers; ++i) {
+    sched.Spawn(FlaggedConsumer(ch, &got[i], &done[i]));
+  }
+  sched.ScheduleCallback(2.0, [&] {
+    ch.Send(10);  // hand-off wakeup
+    ch.Send(20);  // hand-off wakeup
+    ch.Close();   // calendar broadcast to the two remaining waiters
+  });
+  sched.Run();
+  std::vector<int> all;
+  for (int i = 0; i < kConsumers; ++i) {
+    EXPECT_TRUE(done[i]) << "consumer " << i << " stranded";
+    for (int v : got[i]) all.push_back(v);
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+// A receiver arriving after the close while unpromised values remain must
+// still drain them (close semantics: drain, then nullopt).
+TEST(ChannelTest, ReceiveAfterCloseDrainsUnpromisedValues) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  ch.Send(1);
+  ch.Send(2);
+  ch.Close();
+  std::vector<int> got;
+  bool done = false;
+  sched.Spawn(FlaggedConsumer(ch, &got, &done));
+  sched.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
 }
 
 TEST(LatchTest, WaitersReleasedOnFinalCountDown) {
