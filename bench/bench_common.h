@@ -9,6 +9,10 @@
 //   --jobs=N            run N sweep points concurrently (default 1).  The
 //                       table and CSV are bit-identical for every N; jobs
 //                       only changes wall-clock time.
+//   --shards=S          scheduler shards per simulation (default: the
+//                       per-point config, i.e. 1).  Like --jobs, the CSV is
+//                       bit-identical for every S (CI-enforced); see
+//                       SystemConfig::shards for the current semantics.
 //   --csv=PATH          dump the deterministic result columns as CSV
 //   --filter=SUBSTR     keep only points whose name contains SUBSTR
 //                       (names are path-style: figure/series/x)
@@ -72,6 +76,7 @@ inline void ApplyHorizon(SystemConfig& cfg) {
 /// Parsed command line of a figure binary.
 struct BenchOptions {
   int jobs = 1;
+  int shards = 0;  // 0: keep each point's configured value
   uint64_t seed = 42;
   std::string csv_path;     // empty: no CSV
   std::string filter;       // empty: whole grid
@@ -128,6 +133,14 @@ inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
         return 2;
       }
       opts.jobs = static_cast<int>(jobs);
+    } else if (const char* v = value_of(arg, "--shards")) {
+      char* end = nullptr;
+      long shards = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || shards < 1 || shards > 4096) {
+        std::fprintf(stderr, "invalid --shards value: %s\n", v);
+        return 2;
+      }
+      opts.shards = static_cast<int>(shards);
     } else if (const char* v = value_of(arg, "--seed")) {
       char* end = nullptr;
       opts.seed = std::strtoull(v, &end, 10);
@@ -152,8 +165,8 @@ inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
     } else if (std::strcmp(arg, "--help") == 0 ||
                std::strcmp(arg, "-h") == 0) {
       std::fprintf(stderr,
-                   "usage: %s [--jobs=N] [--csv=PATH] [--filter=SUBSTR] "
-                   "[--seed=S] [--fast] [--list] [--quiet] "
+                   "usage: %s [--jobs=N] [--shards=S] [--csv=PATH] "
+                   "[--filter=SUBSTR] [--seed=S] [--fast] [--list] [--quiet] "
                    "[--report-json=PATH] [--trace=PATH]\n",
                    argv[0]);
       return 0;
@@ -261,6 +274,7 @@ inline int FigureMain(Figure& fig, const BenchOptions& opts) {
 
   runner::SweepOptions run_opts;
   run_opts.jobs = opts.jobs;
+  run_opts.shards = opts.shards;
   run_opts.root_seed = opts.seed;
   run_opts.trace_path = opts.trace_path;
   if (!opts.quiet) {

@@ -311,6 +311,17 @@ struct SystemConfig {
 
   // --- simulation --------------------------------------------------------
   uint64_t seed = 42;
+  /// Scheduler shards for intra-simulation execution (simkern/sharded.h).
+  /// 1 = the single-queue kernel.  >1 drives the run through the
+  /// conservative-window pacing with the netsim wire time as lookahead.
+  /// The engine's executors are not yet shard-confined (one join coroutine
+  /// touches many PEs' resources directly), so inside a Cluster every PE
+  /// currently maps to one logical shard group and >1 buys no parallelism —
+  /// it keeps the windowed execution path exercised and bit-identical on
+  /// the full engine (CI compares --shards=4 CSVs against --shards=1)
+  /// while the kernel-level sharding (bench_simkern Sharded* shapes)
+  /// carries the parallel speedup.  See the simkern README.
+  int shards = 1;
   TraceConfig trace;
   double warmup_ms = 5000.0;        ///< Statistics reset after warm-up.
   double measurement_ms = 60000.0;  ///< Measured simulation horizon.

@@ -82,6 +82,13 @@ struct SweepOptions {
                      size_t finished, size_t total)>
       on_point_done;
 
+  /// When positive, overrides every point's config.shards: the number of
+  /// scheduler shards for intra-simulation execution (the drivers' --shards
+  /// flag), clamped per point to its num_pes.  Like --jobs, results are
+  /// bit-identical for every value — see SystemConfig::shards for why (and
+  /// for the current engine limitation).
+  int shards = 0;
+
   /// When non-empty, event tracing is enabled for every point (overriding
   /// point.config.trace) and each point's retained trace is dumped to
   /// "<trace_path>.<declared_index>.csv" as it completes.  File names

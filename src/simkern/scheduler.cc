@@ -10,9 +10,17 @@
 namespace pdblb::sim {
 
 Scheduler::~Scheduler() {
+  // Destroy every detached process still suspended (parked in a resource /
+  // lock / admission queue, or waiting on a calendar event): the registry
+  // holds exactly the Spawn'ed roots, and destroying a root destroys its
+  // owned children recursively through the frames' Task locals.  This must
+  // happen first — frame locals' destructors may own callback-free state
+  // but never calendar entries, while calendar callbacks may reference
+  // frame state (so they are destroyed, not run, afterwards).  Stale
+  // coroutine handles left in the calendar by destroyed frames are never
+  // dispatched.
+  detached_.DestroyAll();
   // Destroy (without running) any callbacks still sitting in the calendar.
-  // Pending coroutine frames are owned by their Task handles (or are
-  // detached and intentionally leak, exactly as before the slab existed).
   for (const Event& e : heap_) DestroyPendingCallback(e);
   for (size_t i = 0; i < ring_size_; ++i) {
     DestroyPendingCallback(ring_[(ring_head_ + i) & (ring_.size() - 1)]);
@@ -127,6 +135,22 @@ void Scheduler::Reserve(size_t events, size_t callbacks) {
   while (cell_chunks_.size() * kCellsPerChunk < callbacks) GrowCellSlab();
 }
 
+bool Scheduler::PopNextBefore(Event* out, SimTime bound) {
+  // Strict twin of PopNext (at < bound instead of at <= until), used only
+  // by the sharded window loops — the RunUntil hot path stays untouched.
+  if (ring_size_ > 0) {
+    const Event& front = ring_[ring_head_];
+    if (heap_.empty() || !Precedes(heap_[0], front)) {
+      if (!(front.at < bound)) return false;
+      *out = RingPop();
+      return true;
+    }
+  }
+  if (heap_.empty() || !(heap_[0].at < bound)) return false;
+  *out = HeapPop();
+  return true;
+}
+
 bool Scheduler::PopNext(Event* out, SimTime until) {
   // The ring holds events at exactly Now(); heap entries at the same time
   // can only be older (smaller seq) arrivals, so one comparison restores
@@ -211,6 +235,58 @@ void Scheduler::Run() {
     Dispatch(event);
   }
 }
+
+void Scheduler::RunBefore(SimTime bound) {
+#if PDBLB_TRACE
+  if (tracer_ != nullptr) {
+    RunTracedBefore(bound);
+    return;
+  }
+#endif
+  Event event;
+  while (true) {
+    if (!handoffs_.empty()) {
+      ResumeHandOff();
+      continue;
+    }
+    if (!PopNextBefore(&event, bound)) break;
+    Dispatch(event);
+  }
+  // Now() deliberately stays at the last dispatched timestamp: an event (or
+  // injected message) may still arrive anywhere in [Now(), bound).
+}
+
+#if PDBLB_TRACE
+void Scheduler::RunTracedBefore(SimTime bound) {
+  Event event;
+  while (true) {
+    if (!handoffs_.empty()) {
+      std::coroutine_handle<> h = handoffs_.front();
+      handoffs_.pop_front();
+      ++inline_resumes_;
+      tracer_->Record(now_, TraceEventKind::kHandOff,
+                      TraceTag(TraceSubsystem::kChannel).bits,
+                      inline_resumes_);
+      h.resume();
+      continue;
+    }
+    if (!PopNextBefore(&event, bound)) break;
+    now_ = event.at;
+    ++events_processed_;
+    tracer_->Record(event.at,
+                    (event.seq & kTraceRingBit) ? TraceEventKind::kZeroDelay
+                                                : TraceEventKind::kCalendar,
+                    static_cast<uint16_t>(event.seq),
+                    event.seq >> kTraceTagShift);
+    if ((event.h & 1u) == 0) {
+      std::coroutine_handle<>::from_address(reinterpret_cast<void*>(event.h))
+          .resume();
+    } else {
+      RunCallbackCell(static_cast<uint32_t>(event.h >> 1));
+    }
+  }
+}
+#endif
 
 void Scheduler::RunUntil(SimTime until) {
 #if PDBLB_TRACE

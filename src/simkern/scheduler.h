@@ -41,6 +41,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -80,45 +81,18 @@ class Scheduler {
   /// allocation); larger ones fall back to the heap.
   template <typename F>
   void ScheduleCallback(SimTime at, F&& fn, TraceTag tag = {}) {
-    using Fn = std::decay_t<F>;
-    uint32_t idx = AllocCell();
-    CallbackCell& cell = CellAt(idx);
-    try {
-      if constexpr (sizeof(Fn) <= kInlineCallbackBytes &&
-                    alignof(Fn) <= alignof(std::max_align_t)) {
-        ::new (static_cast<void*>(cell.storage)) Fn(std::forward<F>(fn));
-        cell.op = [](void* storage, bool invoke) {
-          Fn* f = std::launder(reinterpret_cast<Fn*>(storage));
-          // Destroy even if the invocation throws.
-          struct Guard {
-            Fn* f;
-            ~Guard() { f->~Fn(); }
-          } guard{f};
-          if (invoke) (*f)();
-        };
-      } else {
-        Fn* boxed = new Fn(std::forward<F>(fn));
-        std::memcpy(cell.storage, &boxed, sizeof(boxed));
-        cell.op = [](void* storage, bool invoke) {
-          Fn* f;
-          std::memcpy(&f, storage, sizeof(f));
-          struct Guard {
-            Fn* f;
-            ~Guard() { delete f; }
-          } guard{f};
-          if (invoke) (*f)();
-        };
-      }
-    } catch (...) {
-      free_cells_.push_back(idx);  // reserved capacity: cannot throw
-      throw;
-    }
+    uint32_t idx = StoreCallback(std::forward<F>(fn));
     PushEvent(at, (static_cast<uint64_t>(idx) << 1) | 1u, tag);
   }
 
   /// Starts a detached simulation process at the current time.  The frame
-  /// self-destroys on completion.
-  void Spawn(Task<> task) { ScheduleHandle(now_, task.Detach()); }
+  /// self-destroys on completion; frames still suspended at ~Scheduler are
+  /// destroyed through the detached-frame registry.
+  void Spawn(Task<> task) {
+    Task<>::Handle h = task.Detach();
+    detached_.Register(h, &h.promise());
+    ScheduleHandle(now_, h);
+  }
 
   /// Inline-resume entry point for blocking-primitive hand-offs (a channel
   /// value handed to a blocked consumer).  The handle is placed on the
@@ -183,12 +157,82 @@ class Scheduler {
     return Awaiter{this, now_ + delta, tag};
   }
 
+  // --- message-band events (sharded execution) ---------------------------
+  // Cross-entity messages dispatch in a dedicated high band of the sequence
+  // space: at equal timestamps every message-band event runs after all
+  // local-band events (local seq counters never reach bit 63), and
+  // message-band events order among themselves by (origin entity, per-origin
+  // ordinal) — a total key that does not depend on how entities are
+  // partitioned into shards or on which calendar the event sits in, which is
+  // what makes sharded execution shard-count-invariant (see sharded.h).
+
+  static constexpr uint64_t kMessageBand = uint64_t{1} << 63;
+  static constexpr unsigned kMessageOriginBits = 12;  // matches TraceTag
+  static constexpr unsigned kMessageOriginShift = 63 - kMessageOriginBits;
+#if PDBLB_TRACE
+  static constexpr unsigned kMessageOrdinalShift = kTraceTagShift;
+#else
+  static constexpr unsigned kMessageOrdinalShift = 0;
+#endif
+  static constexpr uint64_t kMaxMessageOrdinal =
+      uint64_t{1} << (kMessageOriginShift - kMessageOrdinalShift);
+
+  /// Packs a message-band sequence word.  `origin` is the sending entity id
+  /// (< 2^12), `ordinal` the per-origin message counter; in tracing builds
+  /// `tag` rides in the low bits exactly like local-band events.
+  static constexpr uint64_t MessageSeq(uint16_t origin, uint64_t ordinal,
+                                       TraceTag tag = {}) {
+    uint64_t seq = kMessageBand |
+                   (static_cast<uint64_t>(origin) << kMessageOriginShift) |
+                   (ordinal << kMessageOrdinalShift);
+#if PDBLB_TRACE
+    seq |= tag.bits;
+#else
+    (void)tag;
+#endif
+    return seq;
+  }
+
+  /// Schedules a message arrival: `fn` runs at `at` (> Now() — message
+  /// delivery needs positive lookahead) in the message band under the
+  /// pre-packed `message_seq` ordering key.  Used both for same-shard
+  /// message sends and for cross-shard mailbox injection at window
+  /// barriers; the two paths produce identical dispatch orders because the
+  /// key, not the push moment, decides placement.
+  template <typename F>
+  void ScheduleMessageCallback(SimTime at, uint64_t message_seq, F&& fn) {
+    assert(at > now_ && "message arrivals need positive lookahead");
+    assert((message_seq & kMessageBand) != 0);
+    uint32_t idx = StoreCallback(std::forward<F>(fn));
+    heap_.push_back(
+        Event{at, message_seq, (static_cast<uint64_t>(idx) << 1) | 1u});
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Earliest pending calendar timestamp, +infinity when the calendar is
+  /// empty.  Only meaningful between Run* calls (the hand-off lane holds
+  /// entries exclusively while a dispatch is running).
+  SimTime NextEventTime() const {
+    assert(handoffs_.empty());
+    SimTime t = std::numeric_limits<SimTime>::infinity();
+    if (ring_size_ > 0) t = ring_[ring_head_].at;
+    if (!heap_.empty() && heap_[0].at < t) t = heap_[0].at;
+    return t;
+  }
+
   /// Runs until the event calendar is empty.
   void Run();
 
   /// Runs all events with timestamp <= `until`, then advances Now() to
   /// `until`.  Later events remain queued.
   void RunUntil(SimTime until);
+
+  /// Runs all events with timestamp strictly less than `bound`; Now() stays
+  /// at the last dispatched timestamp (it does NOT advance to `bound`).
+  /// This is the conservative-window primitive of sharded execution: a
+  /// shard may not consume events at the window horizon, because a message
+  /// arriving exactly there could still be injected at the next barrier.
+  void RunBefore(SimTime bound);
 
   /// Pre-sizes the calendar (and optionally the callback slab) so a run
   /// with at most `events` concurrently pending events allocates nothing.
@@ -222,6 +266,9 @@ class Scheduler {
 
   /// Number of events processed since construction (diagnostics).
   uint64_t events_processed() const { return events_processed_; }
+  /// Detached (Spawn'ed) processes still in flight.  Frames suspended here
+  /// at ~Scheduler are destroyed, not leaked (see task.h DetachedRegistry).
+  size_t detached_in_flight() const { return detached_.size(); }
   /// Number of calendar-bypassing hand-off resumes (diagnostics).  Counted
   /// separately from events_processed(): hand-offs are not calendar events.
   uint64_t inline_resumes() const { return inline_resumes_; }
@@ -261,6 +308,47 @@ class Scheduler {
     void (*op)(void* storage, bool invoke);
     alignas(std::max_align_t) unsigned char storage[kInlineCallbackBytes];
   };
+
+  // Moves `fn` into a recycled cell (inline when it fits, boxed otherwise)
+  // and returns the cell index.  Shared by ScheduleCallback and
+  // ScheduleMessageCallback.
+  template <typename F>
+  uint32_t StoreCallback(F&& fn) {
+    using Fn = std::decay_t<F>;
+    uint32_t idx = AllocCell();
+    CallbackCell& cell = CellAt(idx);
+    try {
+      if constexpr (sizeof(Fn) <= kInlineCallbackBytes &&
+                    alignof(Fn) <= alignof(std::max_align_t)) {
+        ::new (static_cast<void*>(cell.storage)) Fn(std::forward<F>(fn));
+        cell.op = [](void* storage, bool invoke) {
+          Fn* f = std::launder(reinterpret_cast<Fn*>(storage));
+          // Destroy even if the invocation throws.
+          struct Guard {
+            Fn* f;
+            ~Guard() { f->~Fn(); }
+          } guard{f};
+          if (invoke) (*f)();
+        };
+      } else {
+        Fn* boxed = new Fn(std::forward<F>(fn));
+        std::memcpy(cell.storage, &boxed, sizeof(boxed));
+        cell.op = [](void* storage, bool invoke) {
+          Fn* f;
+          std::memcpy(&f, storage, sizeof(f));
+          struct Guard {
+            Fn* f;
+            ~Guard() { delete f; }
+          } guard{f};
+          if (invoke) (*f)();
+        };
+      }
+    } catch (...) {
+      free_cells_.push_back(idx);  // reserved capacity: cannot throw
+      throw;
+    }
+    return idx;
+  }
 
   CallbackCell& CellAt(uint32_t idx) {
     return cell_chunks_[idx / kCellsPerChunk][idx % kCellsPerChunk];
@@ -325,6 +413,8 @@ class Scheduler {
 
   // Pops the globally next event if its timestamp is <= `until`.
   bool PopNext(Event* out, SimTime until);
+  // Strict variant for window execution: pops only events with at < bound.
+  bool PopNextBefore(Event* out, SimTime bound);
 
   void Dispatch(const Event& event);
 #if PDBLB_TRACE
@@ -335,6 +425,8 @@ class Scheduler {
   // Run/RunUntil call and must not be called from inside a running
   // simulation process.)
   void RunTraced(SimTime until);
+  // Traced twin of RunBefore (strict bound, Now() not advanced).
+  void RunTracedBefore(SimTime bound);
 #endif
   void RunCallbackCell(uint32_t idx);
   void DestroyPendingCallback(const Event& event);
@@ -355,6 +447,8 @@ class Scheduler {
 
   std::vector<std::unique_ptr<CallbackCell[]>> cell_chunks_;
   std::vector<uint32_t> free_cells_;
+
+  internal::DetachedRegistry detached_;  // in-flight Spawn'ed frames
 
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;

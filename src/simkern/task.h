@@ -24,9 +24,11 @@
 #include <cassert>
 #include <coroutine>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace pdblb::sim {
 
@@ -101,6 +103,53 @@ class FrameArena {
   }
 };
 
+struct PromiseBase;
+
+/// Registry of detached (Spawn'ed) coroutine frames still in flight, owned
+/// by the Scheduler.  A detached frame self-destroys on completion; before
+/// this registry existed, frames still *suspended* when the scheduler was
+/// torn down (queries parked in admission/lock queues when a measurement
+/// window ends) were unreachable and intentionally leaked.  Now every
+/// detached root registers here at Spawn time and unregisters from
+/// ~PromiseBase — which fires both on normal self-destruction and on
+/// DestroyAll() — so `~Scheduler` can destroy every suspended process
+/// instead of stranding it.  Only detached *roots* register: frames a
+/// parent awaits are owned (and destroyed) through the parent's Task
+/// locals, recursively.
+class DetachedRegistry {
+ public:
+  ~DetachedRegistry() { assert(frames_.empty() && "call DestroyAll() first"); }
+
+  inline void Register(std::coroutine_handle<> handle, PromiseBase* promise);
+
+  void Unregister(uint32_t index) {
+    frames_[index] = frames_.back();
+    if (index < frames_.size() - 1) Reindex(frames_[index], index);
+    frames_.pop_back();
+  }
+
+  /// Destroys every registered frame (most recently spawned first).  Each
+  /// destruction runs the frame's local destructors — which may destroy
+  /// owned (non-detached) child frames, but never another *registered*
+  /// frame: detaching releases ownership, so no local can own one — and
+  /// unregisters itself via ~PromiseBase, keeping the loop O(n).
+  void DestroyAll() {
+    while (!frames_.empty()) frames_.back().handle.destroy();
+  }
+
+  /// Detached frames currently in flight (diagnostics/tests).
+  size_t size() const { return frames_.size(); }
+
+ private:
+  struct Entry {
+    std::coroutine_handle<> handle;
+    PromiseBase* promise;
+  };
+  inline static void Reindex(const Entry& entry, uint32_t index);
+
+  std::vector<Entry> frames_;
+};
+
 /// Promise behaviour shared by Task<T> and Task<void>.
 struct PromiseBase {
   void* operator new(size_t size) { return FrameArena::Allocate(size); }
@@ -108,8 +157,14 @@ struct PromiseBase {
     FrameArena::Deallocate(frame, size);
   }
 
+  ~PromiseBase() {
+    if (registry != nullptr) registry->Unregister(registry_index);
+  }
+
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
+  DetachedRegistry* registry = nullptr;
+  uint32_t registry_index = 0;
   bool detached = false;
 
   std::suspend_always initial_suspend() noexcept { return {}; }
@@ -134,6 +189,18 @@ struct PromiseBase {
 
   void unhandled_exception() noexcept { exception = std::current_exception(); }
 };
+
+inline void DetachedRegistry::Register(std::coroutine_handle<> handle,
+                                       PromiseBase* promise) {
+  assert(promise->detached && "only detached frames register");
+  promise->registry = this;
+  promise->registry_index = static_cast<uint32_t>(frames_.size());
+  frames_.push_back(Entry{handle, promise});
+}
+
+inline void DetachedRegistry::Reindex(const Entry& entry, uint32_t index) {
+  entry.promise->registry_index = index;
+}
 
 }  // namespace internal
 
