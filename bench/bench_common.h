@@ -18,6 +18,13 @@
 //                       (names are path-style: figure/series/x)
 //   --seed=S            root seed; point i runs with a seed derived from
 //                       (S, grid index i)
+//   --faults=SPEC       apply a fault spec to every point (grammar in
+//                       common/config.h ParseFaultSpec, e.g.
+//                       "crash@8000:pe3;recover@12000:pe3" or
+//                       "rate=0.5;mttr=3000;retries=3").  The CSV stays
+//                       bit-identical across --jobs/--shards with faults on
+//   --query-timeout-ms=T  give every query a T-ms deadline (0 disables);
+//                       overrides the per-point and --faults timeout
 //   --fast              shrink warm-up/measurement (quick smoke runs)
 //   --list              print the point names of the (filtered) grid, don't run
 //   --quiet             suppress the per-point progress lines on stderr
@@ -79,6 +86,8 @@ struct BenchOptions {
   int shards = 0;  // 0: keep each point's configured value
   uint64_t seed = 42;
   std::string csv_path;     // empty: no CSV
+  std::string fault_spec;   // empty: no fault override (--faults=SPEC)
+  double query_timeout_ms = -1.0;  // < 0: keep per-point configuration
   std::string filter;       // empty: whole grid
   std::string report_json;  // empty: no sweep-throughput report
   std::string trace_path;   // empty: tracing off
@@ -150,6 +159,24 @@ inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
       }
     } else if (const char* v = value_of(arg, "--csv")) {
       opts.csv_path = v;
+    } else if (const char* v = value_of(arg, "--faults")) {
+      // Validate eagerly so a typo fails before the sweep starts.
+      FaultConfig probe;
+      Status st = ParseFaultSpec(v, &probe);
+      if (!st.ok()) {
+        std::fprintf(stderr, "invalid --faults value: %s\n",
+                     st.ToString().c_str());
+        return 2;
+      }
+      opts.fault_spec = v;
+    } else if (const char* v = value_of(arg, "--query-timeout-ms")) {
+      char* end = nullptr;
+      double timeout = std::strtod(v, &end);
+      if (end == v || *end != '\0' || timeout < 0.0) {
+        std::fprintf(stderr, "invalid --query-timeout-ms value: %s\n", v);
+        return 2;
+      }
+      opts.query_timeout_ms = timeout;
     } else if (const char* v = value_of(arg, "--filter")) {
       opts.filter = v;
     } else if (const char* v = value_of(arg, "--report-json")) {
@@ -166,6 +193,7 @@ inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
                std::strcmp(arg, "-h") == 0) {
       std::fprintf(stderr,
                    "usage: %s [--jobs=N] [--shards=S] [--csv=PATH] "
+                   "[--faults=SPEC] [--query-timeout-ms=T] "
                    "[--filter=SUBSTR] [--seed=S] [--fast] [--list] [--quiet] "
                    "[--report-json=PATH] [--trace=PATH]\n",
                    argv[0]);
@@ -276,6 +304,8 @@ inline int FigureMain(Figure& fig, const BenchOptions& opts) {
   run_opts.jobs = opts.jobs;
   run_opts.shards = opts.shards;
   run_opts.root_seed = opts.seed;
+  run_opts.fault_spec = opts.fault_spec;
+  run_opts.query_timeout_ms = opts.query_timeout_ms;
   run_opts.trace_path = opts.trace_path;
   if (!opts.quiet) {
     run_opts.on_point_done = [](const runner::SweepPoint& point,

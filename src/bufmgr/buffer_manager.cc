@@ -155,13 +155,38 @@ sim::Task<int> BufferManager::ReserveWait(int min_pages, int want_pages) {
   MemWaiter waiter{min_pages, want_pages, 0, nullptr};
   mem_queue_.push_back(&waiter);
 
+  // `waiter` lives on this coroutine frame; mem_queue_ holds a raw pointer
+  // into it.  The awaiter's destructor undoes that registration when the
+  // frame is destroyed mid-suspension (Scheduler::Cancel cascade): either
+  // the waiter is still queued (erase it) or the grant already happened and
+  // a wake event is in flight (scrub it and give the reservation back).
+  // The scheduler pointer is stored directly because at full teardown the
+  // manager itself may already be gone.
   struct Awaiter {
+    sim::Scheduler* sched;
+    BufferManager* mgr;
     MemWaiter* w;
+    std::coroutine_handle<> pending = nullptr;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) { w->handle = h; }
-    void await_resume() const noexcept {}
+    void await_suspend(std::coroutine_handle<> h) {
+      pending = h;
+      w->handle = h;
+    }
+    void await_resume() noexcept { pending = nullptr; }
+    ~Awaiter() {
+      if (!pending || sched->tearing_down()) return;
+      auto it = std::find(mgr->mem_queue_.begin(), mgr->mem_queue_.end(), w);
+      if (it != mgr->mem_queue_.end()) {
+        mgr->mem_queue_.erase(it);
+        // Removing the head may unblock smaller requests behind it.
+        mgr->ServeMemoryQueue();
+        return;
+      }
+      sched->CancelHandle(pending);
+      mgr->ReleaseReservation(w->granted);
+    }
   };
-  co_await Awaiter{&waiter};
+  co_await Awaiter{&sched_, this, &waiter};
   co_return waiter.granted;
 }
 
@@ -186,6 +211,20 @@ void BufferManager::ReleaseReservation(int pages) {
   assert(reserved_ >= pages);
   reserved_ -= pages;
   ServeMemoryQueue();
+}
+
+void BufferManager::OnCrash() {
+  // Cancellation of the resident queries must have unwound every
+  // reservation, queued waiter and victim registration first; a crash that
+  // leaks any of them is an engine bug, not a modelling choice.
+  assert(reserved_ == 0 && "crash with live reservations");
+  assert(mem_queue_.empty() && "crash with queued memory waiters");
+  assert(victims_.empty() && "crash with registered steal victims");
+  // Volatile buffer contents are lost.  No writebacks: dirty pages are
+  // recovered from the log in a real system, and the simulated disk image
+  // is not page-accurate — restarting cold is the observable effect.
+  frames_.clear();
+  lru_.clear();
 }
 
 void BufferManager::RegisterVictim(MemoryVictim* victim) {

@@ -93,6 +93,15 @@ class BufferManager {
   void RegisterVictim(MemoryVictim* victim);
   void UnregisterVictim(MemoryVictim* victim);
 
+  // --- fault injection ------------------------------------------------------
+
+  /// Models a PE crash: volatile state is lost — the resident set is wiped
+  /// (no writebacks; the simulated disk is the durable copy) and access
+  /// history cleared so the PE restarts cold.  Must be called after every
+  /// resident query was cancelled: reservations, the memory queue and the
+  /// victim list must already be empty (asserted).
+  void OnCrash();
+
   // --- memory accounting ---------------------------------------------------
 
   int capacity() const { return config_.buffer_pages; }

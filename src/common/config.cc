@@ -163,6 +163,114 @@ Status SystemConfig::Validate() const {
   if (trace.enabled && trace.capacity < 1) {
     return Status::InvalidArgument("trace.capacity must be >= 1");
   }
+  for (const FaultEvent& ev : faults.events) {
+    if (ev.pe < 0 || ev.pe >= num_pes) {
+      return Status::OutOfRange("faults.events: pe out of range");
+    }
+    if (ev.at_ms < 0.0) {
+      return Status::InvalidArgument("faults.events: at_ms must be >= 0");
+    }
+  }
+  if (faults.crash_rate_per_pe_per_min < 0.0) {
+    return Status::InvalidArgument(
+        "faults.crash_rate_per_pe_per_min must be >= 0");
+  }
+  if (faults.crash_rate_per_pe_per_min > 0.0 && faults.mttr_ms <= 0.0) {
+    return Status::InvalidArgument(
+        "faults.mttr_ms must be positive when a crash rate is set");
+  }
+  if (faults.query_timeout_ms < 0.0) {
+    return Status::InvalidArgument("faults.query_timeout_ms must be >= 0");
+  }
+  if (faults.timeout_fraction < 0.0 || faults.timeout_fraction > 1.0) {
+    return Status::InvalidArgument("faults.timeout_fraction must be in [0,1]");
+  }
+  if (faults.retry.max_attempts < 1) {
+    return Status::InvalidArgument("faults.retry.max_attempts must be >= 1");
+  }
+  if (faults.retry.initial_backoff_ms < 0.0 ||
+      faults.retry.max_backoff_ms < faults.retry.initial_backoff_ms) {
+    return Status::InvalidArgument(
+        "faults.retry backoff bounds must satisfy 0 <= initial <= max");
+  }
+  if (faults.retry.backoff_multiplier < 1.0) {
+    return Status::InvalidArgument(
+        "faults.retry.backoff_multiplier must be >= 1");
+  }
+  if (faults.retry.jitter_frac < 0.0 || faults.retry.jitter_frac > 1.0) {
+    return Status::InvalidArgument("faults.retry.jitter_frac must be in [0,1]");
+  }
+  return Status::OK();
+}
+
+// --- fault-spec parsing ----------------------------------------------------
+
+namespace {
+
+// Splits "crash@8000:pe3" into kind/time/pe; returns false on malformed
+// input (the caller reports the whole clause).
+bool ParseScheduledClause(const std::string& clause, FaultEvent* ev) {
+  size_t at = clause.find('@');
+  size_t colon = clause.find(':', at == std::string::npos ? 0 : at);
+  if (at == std::string::npos || colon == std::string::npos) return false;
+  std::string kind = clause.substr(0, at);
+  if (kind == "crash") {
+    ev->kind = FaultKind::kCrash;
+  } else if (kind == "recover") {
+    ev->kind = FaultKind::kRecover;
+  } else {
+    return false;
+  }
+  try {
+    ev->at_ms = std::stod(clause.substr(at + 1, colon - at - 1));
+    std::string pe = clause.substr(colon + 1);
+    if (pe.rfind("pe", 0) != 0) return false;
+    ev->pe = std::stoi(pe.substr(2));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ParseFaultSpec(const std::string& spec, FaultConfig* out) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+    size_t eq = clause.find('=');
+    if (eq != std::string::npos && clause.find('@') == std::string::npos) {
+      std::string key = clause.substr(0, eq);
+      std::string val = clause.substr(eq + 1);
+      try {
+        if (key == "rate") {
+          out->crash_rate_per_pe_per_min = std::stod(val);
+        } else if (key == "mttr") {
+          out->mttr_ms = std::stod(val);
+        } else if (key == "timeout") {
+          out->query_timeout_ms = std::stod(val);
+        } else if (key == "timeout_frac") {
+          out->timeout_fraction = std::stod(val);
+        } else if (key == "retries") {
+          out->retry.max_attempts = std::stoi(val);
+        } else {
+          return Status::InvalidArgument("unknown fault-spec key: " + key);
+        }
+      } catch (...) {
+        return Status::InvalidArgument("bad fault-spec value: " + clause);
+      }
+      continue;
+    }
+    FaultEvent ev;
+    if (!ParseScheduledClause(clause, &ev)) {
+      return Status::InvalidArgument("bad fault-spec clause: " + clause);
+    }
+    out->events.push_back(ev);
+  }
   return Status::OK();
 }
 

@@ -262,6 +262,77 @@ struct OltpConfig {
   int64_t hot_pages = 22;
 };
 
+/// One scripted fault event.  Crash/recover pairs drive the PE failure
+/// model: a crashed PE aborts its resident work, releases buffer/lock
+/// resources and rejects new placements until it recovers.
+enum class FaultKind {
+  kCrash,
+  kRecover,
+};
+
+struct FaultEvent {
+  double at_ms = 0.0;  ///< Simulation time (measured from run start).
+  FaultKind kind = FaultKind::kCrash;
+  int pe = 0;
+};
+
+/// Retry policy for queries that fail with kUnavailable (a participant PE
+/// crashed mid-query).  Backoff is capped exponential with seeded jitter:
+/// attempt k sleeps min(initial * multiplier^(k-1), max) * (1 ± jitter*U),
+/// where U is drawn from the workload RNG stream — deterministic per seed.
+/// Queries that exceed their deadline (kDeadlineExceeded) never retry.
+struct RetryPolicy {
+  int max_attempts = 3;             ///< Total attempts including the first.
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  double jitter_frac = 0.2;         ///< Relative jitter, in [0, 1].
+};
+
+/// Fault-injection and query-timeout configuration.  Disabled by default;
+/// when disabled the engine runs the exact event sequence of previous
+/// versions (no supervision wrappers, no extra RNG draws).
+struct FaultConfig {
+  /// Explicit schedule (applied as given, in addition to the rate model).
+  std::vector<FaultEvent> events;
+  /// Random crash model: each PE crashes as a Poisson process with this
+  /// rate and recovers mttr_ms later.  The schedule is pre-generated from
+  /// a dedicated fork of the root seed, so it is identical across
+  /// --jobs/--shards and reruns.
+  double crash_rate_per_pe_per_min = 0.0;
+  double mttr_ms = 3000.0;
+  /// Per-query deadline; 0 disables timeouts.  `timeout_fraction` of
+  /// queries (chosen by the workload RNG) carry the deadline.
+  double query_timeout_ms = 0.0;
+  double timeout_fraction = 1.0;
+  RetryPolicy retry;
+
+  /// True when PE failures are configured (scripted or by rate).
+  bool FailuresEnabled() const {
+    return !events.empty() || crash_rate_per_pe_per_min > 0.0;
+  }
+  /// True when per-query deadlines are configured.
+  bool TimeoutsEnabled() const {
+    return query_timeout_ms > 0.0 && timeout_fraction > 0.0;
+  }
+  /// True when queries need supervision (retry/timeout/abort handling).
+  bool Enabled() const { return FailuresEnabled() || TimeoutsEnabled(); }
+};
+
+/// Parses a fault specification string into `out` (merging with its current
+/// values).  Grammar (clauses separated by ';', see docs/robustness.md):
+///
+///   crash@<ms>:pe<N>      schedule a crash of PE N at time <ms>
+///   recover@<ms>:pe<N>    schedule a recovery of PE N at time <ms>
+///   rate=<r>              random crashes per PE per minute
+///   mttr=<ms>             mean time to repair for random crashes
+///   timeout=<ms>          per-query deadline
+///   timeout_frac=<f>      fraction of queries carrying the deadline
+///   retries=<n>           RetryPolicy::max_attempts
+///
+/// Example: "crash@8000:pe3;recover@12000:pe3;timeout=5000".
+Status ParseFaultSpec(const std::string& spec, FaultConfig* out);
+
 /// Top-level configuration; defaults reproduce the paper's base setting.
 struct SystemConfig {
   // --- configuration settings -------------------------------------------
@@ -323,6 +394,9 @@ struct SystemConfig {
   /// carries the parallel speedup.  See the simkern README.
   int shards = 1;
   TraceConfig trace;
+  /// Fault injection and per-query deadlines (engine/faults.h).  Disabled
+  /// by default; see FaultConfig.
+  FaultConfig faults;
   double warmup_ms = 5000.0;        ///< Statistics reset after warm-up.
   double measurement_ms = 60000.0;  ///< Measured simulation horizon.
   /// Single-user mode: join queries run back to back with nothing else in

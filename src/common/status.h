@@ -24,6 +24,8 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kIoError,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Result of an operation: either OK or an error code plus message.
@@ -51,6 +53,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -13,6 +13,21 @@ ControlNode::ControlNode(int num_pes, bool adaptive_feedback,
       cpu_bump_factor_(cpu_bump_factor) {
   info_.resize(num_pes);
   for (int i = 0; i < num_pes; ++i) info_[i].pe = i;
+  alive_.assign(static_cast<size_t>(num_pes), true);
+}
+
+void ControlNode::MarkDown(PeId pe) {
+  assert(pe >= 0 && pe < static_cast<int>(info_.size()));
+  if (!alive_[static_cast<size_t>(pe)]) return;
+  alive_[static_cast<size_t>(pe)] = false;
+  ++down_count_;
+}
+
+void ControlNode::MarkUp(PeId pe) {
+  assert(pe >= 0 && pe < static_cast<int>(info_.size()));
+  if (alive_[static_cast<size_t>(pe)]) return;
+  alive_[static_cast<size_t>(pe)] = true;
+  --down_count_;
 }
 
 void ControlNode::Report(PeId pe, double cpu_util, int free_memory_pages,
@@ -25,18 +40,38 @@ void ControlNode::Report(PeId pe, double cpu_util, int free_memory_pages,
 
 double ControlNode::AvgCpuUtilization() const {
   double sum = 0.0;
-  for (const auto& i : info_) sum += i.cpu_util;
-  return info_.empty() ? 0.0 : sum / static_cast<double>(info_.size());
+  int n = 0;
+  for (const auto& i : info_) {
+    if (!alive_[static_cast<size_t>(i.pe)]) continue;
+    sum += i.cpu_util;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
 double ControlNode::AvgDiskUtilization() const {
   double sum = 0.0;
-  for (const auto& i : info_) sum += i.disk_util;
-  return info_.empty() ? 0.0 : sum / static_cast<double>(info_.size());
+  int n = 0;
+  for (const auto& i : info_) {
+    if (!alive_[static_cast<size_t>(i.pe)]) continue;
+    sum += i.disk_util;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::vector<PeLoadInfo> ControlNode::AliveInfos() const {
+  if (down_count_ == 0) return info_;
+  std::vector<PeLoadInfo> alive;
+  alive.reserve(info_.size());
+  for (const auto& i : info_) {
+    if (alive_[static_cast<size_t>(i.pe)]) alive.push_back(i);
+  }
+  return alive;
 }
 
 std::vector<PeLoadInfo> ControlNode::AvailMemorySorted() const {
-  std::vector<PeLoadInfo> sorted = info_;
+  std::vector<PeLoadInfo> sorted = AliveInfos();
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const PeLoadInfo& a, const PeLoadInfo& b) {
                      if (a.free_memory_pages != b.free_memory_pages) {
@@ -48,7 +83,7 @@ std::vector<PeLoadInfo> ControlNode::AvailMemorySorted() const {
 }
 
 std::vector<PeLoadInfo> ControlNode::CpuSorted() const {
-  std::vector<PeLoadInfo> sorted = info_;
+  std::vector<PeLoadInfo> sorted = AliveInfos();
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const PeLoadInfo& a, const PeLoadInfo& b) {
                      if (a.cpu_util != b.cpu_util) {

@@ -13,6 +13,7 @@
 #ifndef PDBLB_CORE_CONTROL_NODE_H_
 #define PDBLB_CORE_CONTROL_NODE_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "common/units.h"
@@ -37,6 +38,22 @@ class ControlNode {
   /// Periodic report from a PE (overwrites any adaptive adjustments).
   void Report(PeId pe, double cpu_util, int free_memory_pages,
               double disk_util);
+
+  // --- failure / recovery (engine/faults.h) -------------------------------
+  //
+  // A crashed PE stops reporting and must stop receiving work: the planning
+  // views below (averages, sorted arrays) cover only alive PEs, so every
+  // strategy avoids dead PEs without individual checks.  When no PE is down
+  // the views are exactly the all-PE views — fault-free runs are untouched.
+
+  /// Ingests a failure notification: the PE drops out of every planning view.
+  void MarkDown(PeId pe);
+  /// Ingests a recovery notification: the PE rejoins the planning views.
+  /// The caller refreshes its load info with an initial optimistic report.
+  void MarkUp(PeId pe);
+  bool IsAlive(PeId pe) const { return alive_[static_cast<size_t>(pe)]; }
+  bool AnyDown() const { return down_count_ > 0; }
+  int AliveCount() const { return num_pes() - down_count_; }
 
   /// Average reported CPU utilization over all PEs (u_cpu in formula 3.2).
   double AvgCpuUtilization() const;
@@ -68,7 +85,12 @@ class ControlNode {
   void NoteSubjoinSize(PeId pe, int delta_pages, double work_multiple);
 
  private:
+  /// The load infos of alive PEs (all of them when nothing is down).
+  std::vector<PeLoadInfo> AliveInfos() const;
+
   std::vector<PeLoadInfo> info_;
+  std::vector<bool> alive_;
+  int down_count_ = 0;
   bool adaptive_feedback_;
   double cpu_bump_factor_;
 };

@@ -150,13 +150,31 @@ class IsolatedPolicy : public LoadBalancingPolicy {
           break;
       }
     }
-    p = std::clamp(p, 1, req.num_pes);
+    // A crashed PE must receive no work: cap the degree by the alive count
+    // (equal to num_pes in fault-free runs) — LUC/LUM placement draws from
+    // the control node's alive-only sorted views below.
+    p = std::clamp(p, 1, std::min(req.num_pes, control.AliveCount()));
 
     JoinPlan plan;
     plan.degree = p;
     switch (config_.selection) {
       case SelectionPolicyKind::kRandom:
-        plan.pes = rng.SampleWithoutReplacement(req.num_pes, p);
+        if (control.AnyDown()) {
+          // Sample positions among alive PEs only.  The fault-free path
+          // keeps the historical draw (same RNG stream, bit-identical).
+          std::vector<PeId> alive;
+          alive.reserve(static_cast<size_t>(control.AliveCount()));
+          for (PeId pe = 0; pe < req.num_pes; ++pe) {
+            if (control.IsAlive(pe)) alive.push_back(pe);
+          }
+          for (PeId i :
+               rng.SampleWithoutReplacement(static_cast<int>(alive.size()),
+                                            p)) {
+            plan.pes.push_back(alive[static_cast<size_t>(i)]);
+          }
+        } else {
+          plan.pes = rng.SampleWithoutReplacement(req.num_pes, p);
+        }
         break;
       case SelectionPolicyKind::kLUC:
         plan.pes = TopK(control.CpuSorted(), p);

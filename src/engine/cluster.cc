@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "engine/faults.h"
 #include "engine/join_executor.h"
 #include "engine/multiway_executor.h"
 #include "engine/oltp_executor.h"
@@ -65,6 +66,7 @@ Cluster::Cluster(const SystemConfig& config)
   for (auto& pe : pes_) lock_managers.push_back(&pe->locks());
   deadlock_detector_ =
       std::make_unique<DeadlockDetector>(sched_, std::move(lock_managers));
+  faults_ = std::make_unique<FaultInjector>(*this);
 
   plan_request_.hash_table_pages = cost_model_->HashTablePages();
   plan_request_.psu_opt = cost_model_->PsuOpt();
@@ -85,6 +87,14 @@ Cluster::~Cluster() = default;
 void Cluster::ReportAllPes(SimTime window_ms) {
   for (auto& pe : pes_) {
     double cpu_busy = pe->cpu().BusyIntegral();
+    if (pe->failed()) {
+      // A down PE reports nothing (the control node's alive view excludes
+      // it); keep the window bookkeeping current so the first report after
+      // recovery covers only post-recovery activity.
+      pe->last_cpu_busy_integral = cpu_busy;
+      pe->last_disk_busy_integral = pe->disks().DataDiskBusyIntegral();
+      continue;
+    }
     double cpu_util =
         (cpu_busy - pe->last_cpu_busy_integral) /
         (window_ms * static_cast<double>(config_.cpus_per_pe));
@@ -119,6 +129,53 @@ void Cluster::SpawnBackground() {
   sched_.Spawn(deadlock_detector_->Run());
 }
 
+void Cluster::SpawnJoin() {
+  if (config_.faults.Enabled()) {
+    sched_.Spawn(faults_->Supervise(
+        [this](QueryAttempt* qa) { return ExecuteJoinQuery(*this, qa); }));
+  } else {
+    sched_.Spawn(ExecuteJoinQuery(*this));
+  }
+}
+
+void Cluster::SpawnScan() {
+  if (config_.faults.Enabled()) {
+    sched_.Spawn(faults_->Supervise(
+        [this](QueryAttempt* qa) { return ExecuteScanQuery(*this, qa); }));
+  } else {
+    sched_.Spawn(ExecuteScanQuery(*this));
+  }
+}
+
+void Cluster::SpawnUpdate() {
+  if (config_.faults.Enabled()) {
+    sched_.Spawn(faults_->Supervise(
+        [this](QueryAttempt* qa) { return ExecuteUpdateQuery(*this, qa); }));
+  } else {
+    sched_.Spawn(ExecuteUpdateQuery(*this));
+  }
+}
+
+void Cluster::SpawnMultiway() {
+  if (config_.faults.Enabled()) {
+    sched_.Spawn(faults_->Supervise([this](QueryAttempt* qa) {
+      return ExecuteMultiwayJoinQuery(*this, qa);
+    }));
+  } else {
+    sched_.Spawn(ExecuteMultiwayJoinQuery(*this));
+  }
+}
+
+void Cluster::SpawnOltp(PeId node) {
+  if (config_.faults.Enabled()) {
+    sched_.Spawn(faults_->Supervise([this, node](QueryAttempt* qa) {
+      return ExecuteOltpTransaction(*this, node, qa);
+    }));
+  } else {
+    sched_.Spawn(ExecuteOltpTransaction(*this, node));
+  }
+}
+
 void Cluster::SpawnOpenWorkload() {
   if (trace_.has_value()) {
     // Trace-driven mode: one dispatcher replaces all Poisson sources.
@@ -126,23 +183,23 @@ void Cluster::SpawnOpenWorkload() {
         sched_, std::move(*trace_), [this](const TraceEvent& event) {
           switch (event.cls) {
             case TraceClass::kJoin:
-              sched_.Spawn(ExecuteJoinQuery(*this));
+              SpawnJoin();
               break;
             case TraceClass::kScan:
-              sched_.Spawn(ExecuteScanQuery(*this));
+              SpawnScan();
               break;
             case TraceClass::kUpdate:
-              sched_.Spawn(ExecuteUpdateQuery(*this));
+              SpawnUpdate();
               break;
             case TraceClass::kMultiwayJoin:
-              sched_.Spawn(ExecuteMultiwayJoinQuery(*this));
+              SpawnMultiway();
               break;
             case TraceClass::kOltp: {
               PeId node = std::min<PeId>(event.oltp_node, config_.num_pes - 1);
               // OLTP events need the node's private relation; traces with
               // OLTP require oltp.enabled so the schema includes them.
               if (db_->oltp_relation(node) != nullptr) {
-                sched_.Spawn(ExecuteOltpTransaction(*this, node));
+                SpawnOltp(node);
               }
               break;
             }
@@ -154,41 +211,35 @@ void Cluster::SpawnOpenWorkload() {
   if (config_.join_query.arrival_rate_per_pe_qps > 0.0) {
     double rate = config_.join_query.arrival_rate_per_pe_qps *
                   static_cast<double>(config_.num_pes);
-    sched_.Spawn(PoissonArrivals(
-        sched_, arrival_rng_.Fork(10), rate,
-        [this](int64_t) { sched_.Spawn(ExecuteJoinQuery(*this)); }));
+    sched_.Spawn(PoissonArrivals(sched_, arrival_rng_.Fork(10), rate,
+                                 [this](int64_t) { SpawnJoin(); }));
   }
   if (config_.scan_query.enabled &&
       config_.scan_query.arrival_rate_per_pe_qps > 0.0) {
     double rate = config_.scan_query.arrival_rate_per_pe_qps *
                   static_cast<double>(config_.num_pes);
-    sched_.Spawn(PoissonArrivals(
-        sched_, arrival_rng_.Fork(20), rate,
-        [this](int64_t) { sched_.Spawn(ExecuteScanQuery(*this)); }));
+    sched_.Spawn(PoissonArrivals(sched_, arrival_rng_.Fork(20), rate,
+                                 [this](int64_t) { SpawnScan(); }));
   }
   if (config_.update_query.enabled &&
       config_.update_query.arrival_rate_per_pe_qps > 0.0) {
     double rate = config_.update_query.arrival_rate_per_pe_qps *
                   static_cast<double>(config_.num_pes);
-    sched_.Spawn(PoissonArrivals(
-        sched_, arrival_rng_.Fork(30), rate,
-        [this](int64_t) { sched_.Spawn(ExecuteUpdateQuery(*this)); }));
+    sched_.Spawn(PoissonArrivals(sched_, arrival_rng_.Fork(30), rate,
+                                 [this](int64_t) { SpawnUpdate(); }));
   }
   if (config_.multiway_join.enabled &&
       config_.multiway_join.arrival_rate_per_pe_qps > 0.0) {
     double rate = config_.multiway_join.arrival_rate_per_pe_qps *
                   static_cast<double>(config_.num_pes);
-    sched_.Spawn(PoissonArrivals(
-        sched_, arrival_rng_.Fork(40), rate,
-        [this](int64_t) { sched_.Spawn(ExecuteMultiwayJoinQuery(*this)); }));
+    sched_.Spawn(PoissonArrivals(sched_, arrival_rng_.Fork(40), rate,
+                                 [this](int64_t) { SpawnMultiway(); }));
   }
   if (config_.oltp.enabled) {
     for (PeId node : db_->oltp_nodes()) {
       sched_.Spawn(PoissonArrivals(
           sched_, arrival_rng_.Fork(1000 + node), config_.oltp.tps_per_node,
-          [this, node](int64_t) {
-            sched_.Spawn(ExecuteOltpTransaction(*this, node));
-          }));
+          [this, node](int64_t) { SpawnOltp(node); }));
     }
   }
 }
@@ -242,6 +293,13 @@ MetricsReport Cluster::Collect(SimTime measure_start,
     r.lock_waits += pe->locks().lock_waits();
     r.deadlock_aborts += pe->locks().deadlock_aborts();
   }
+
+  r.queries_timed_out = metrics_.queries_timed_out();
+  r.queries_retried = metrics_.queries_retried();
+  r.queries_failed = metrics_.queries_failed();
+  r.queries_degraded = metrics_.queries_degraded();
+  r.pe_crashes = metrics_.pe_crashes();
+  r.pe_recoveries = metrics_.pe_recoveries();
   return r;
 }
 
@@ -256,6 +314,7 @@ MetricsReport Cluster::Run() {
 
   auto wall_start = std::chrono::steady_clock::now();
   SpawnBackground();
+  if (config_.faults.FailuresEnabled()) faults_->SpawnFaultProcesses();
   SimTime measure_start = 0.0;
   SimTime measure_end = 0.0;
 
@@ -279,7 +338,14 @@ MetricsReport Cluster::Run() {
     bool done = false;
     sched_.Spawn(ClosedLoop(
         config_.single_user_queries,
-        [this](int64_t) -> sim::Task<> { return ExecuteJoinQuery(*this); },
+        [this](int64_t) -> sim::Task<> {
+          if (config_.faults.Enabled()) {
+            return faults_->Supervise([this](QueryAttempt* qa) {
+              return ExecuteJoinQuery(*this, qa);
+            });
+          }
+          return ExecuteJoinQuery(*this);
+        },
         &done));
     while (!done && sched_.pending_events() > 0) {
       advance(sched_.Now() + 60000.0);

@@ -36,6 +36,8 @@
 
 namespace pdblb {
 
+class FaultInjector;
+
 class Cluster {
  public:
   /// The configuration must satisfy SystemConfig::Validate(); construction
@@ -69,6 +71,10 @@ class Cluster {
   /// RNG stream used for workload decisions (placement, keys).
   sim::Rng& workload_rng() { return workload_rng_; }
 
+  /// The fault-injection subsystem (engine/faults.h).  Always constructed;
+  /// inert unless SystemConfig::faults enables failures or timeouts.
+  FaultInjector& faults() { return *faults_; }
+
   /// Fresh relation-id namespace for a join's temporary partitions.
   int32_t NextTempRelationId() { return next_temp_rel_id_--; }
   TxnId NextTxnId() { return next_txn_id_++; }
@@ -92,6 +98,14 @@ class Cluster {
  private:
   void SpawnBackground();
   void SpawnOpenWorkload();
+  // Spawn one query of the given class, routed through the fault
+  // supervisor when SystemConfig::faults is enabled (direct spawn
+  // otherwise, preserving the fault-free event and RNG streams).
+  void SpawnJoin();
+  void SpawnScan();
+  void SpawnUpdate();
+  void SpawnMultiway();
+  void SpawnOltp(PeId node);
   sim::Task<> ControlReportLoop();
   void ReportAllPes(SimTime window_ms);
   void ResetStatistics();
@@ -110,6 +124,7 @@ class Cluster {
   std::unique_ptr<CostModel> cost_model_;
   std::unique_ptr<LoadBalancingPolicy> policy_;
   std::unique_ptr<DeadlockDetector> deadlock_detector_;
+  std::unique_ptr<FaultInjector> faults_;
   MetricsCollector metrics_;
   JoinPlanRequest plan_request_;
 

@@ -1,0 +1,151 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Fault injection, query deadlines and PE failure/recovery.
+//
+// A FaultInjector owns the cluster's failure schedule (scripted events
+// and/or a seeded Poisson crash/repair process per PE), applies crashes and
+// recoveries (cancelling resident query attempts, releasing their resources
+// through cancellation-aware awaiters, flipping the control node's alive
+// view so strategies re-plan around dead PEs), and supervises query
+// execution: each query runs as a sequence of *attempts*, where an attempt
+// that touches a failed PE is cancelled mid-flight (or fails fast at
+// placement) and retried with capped exponential backoff, and an attempt
+// chain that exceeds the query's deadline is cancelled with
+// kDeadlineExceeded.
+//
+// Determinism: all fault timing draws come from a dedicated RNG stream
+// (root.Fork(3), further forked per PE), deadline assignment and backoff
+// jitter come from the workload stream in arrival order, and crashes /
+// cancellations are ordinary calendar events — so every outcome is a pure
+// function of (seed, config), identical across --jobs/--shards and reruns.
+// When SystemConfig::faults is disabled the supervisor is bypassed entirely
+// and the event/RNG streams are byte-identical to a fault-free build.
+
+#ifndef PDBLB_ENGINE_FAULTS_H_
+#define PDBLB_ENGINE_FAULTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "simkern/latch.h"
+#include "simkern/resource.h"
+#include "simkern/rng.h"
+#include "simkern/scheduler.h"
+#include "simkern/task.h"
+
+namespace pdblb {
+
+class Cluster;
+class FaultInjector;
+
+/// Per-attempt bookkeeping shared between the supervisor and the executor.
+/// Lives in the supervisor's frame, so it survives cancellation of the
+/// attempt frame itself.  Executors register every PE a query touches
+/// *before* doing work there; registration fails fast (returns false, sets
+/// outcome = kUnavailable) when the PE is already down, and the recorded
+/// set is what ApplyCrash consults to find the attempts a crash kills.
+struct QueryAttempt {
+  FaultInjector* injector = nullptr;
+  sim::Latch* done = nullptr;
+  uint64_t work_id = 0;
+  StatusCode outcome = StatusCode::kOk;
+  std::vector<PeId> participants;
+
+  /// Records that the attempt is about to use `pe`.  Returns false (and
+  /// marks the attempt kUnavailable) if the PE is down — the executor must
+  /// co_return immediately; its RAII guards release whatever it holds.
+  bool AddParticipant(PeId pe);
+  bool AddParticipants(const std::vector<PeId>& pes);
+  bool Touches(PeId pe) const;
+};
+
+/// RAII release of one admission slot (ProcessingElement::admission()).
+/// Executors acquire the slot explicitly, then arm the guard: the normal
+/// path calls ReleaseNow() where the old explicit Release() sat, and the
+/// cancellation path releases from the destructor as the frame unwinds.
+class AdmissionGuard {
+ public:
+  AdmissionGuard(sim::Scheduler& sched, sim::Resource& admission)
+      : sched_(sched), admission_(admission) {}
+  ~AdmissionGuard() {
+    if (armed_ && !sched_.tearing_down()) admission_.Release();
+  }
+  AdmissionGuard(const AdmissionGuard&) = delete;
+  AdmissionGuard& operator=(const AdmissionGuard&) = delete;
+  void ReleaseNow() {
+    armed_ = false;
+    admission_.Release();
+  }
+
+ private:
+  sim::Scheduler& sched_;
+  sim::Resource& admission_;
+  bool armed_ = true;
+};
+
+/// RAII release of a transaction's locks at a set of PEs.  The normal path
+/// keeps its explicit ReleaseAll loop and then disarms; cancellation mid-
+/// transaction releases from the destructor so no lock entry leaks.
+class TxnLocksGuard {
+ public:
+  TxnLocksGuard(Cluster* cluster, TxnId txn) : cluster_(cluster), txn_(txn) {}
+  ~TxnLocksGuard();
+  TxnLocksGuard(const TxnLocksGuard&) = delete;
+  TxnLocksGuard& operator=(const TxnLocksGuard&) = delete;
+  void AddPe(PeId pe);
+  void Disarm() { armed_ = false; }
+
+ private:
+  Cluster* cluster_;
+  TxnId txn_;
+  std::vector<PeId> pes_;
+  bool armed_ = true;
+};
+
+/// The cluster's fault plan: crash/recovery application, random fault
+/// processes, and the per-query supervisor (retry + deadline).
+class FaultInjector {
+ public:
+  using AttemptFactory = std::function<sim::Task<>(QueryAttempt*)>;
+
+  explicit FaultInjector(Cluster& cluster);
+
+  bool Enabled() const;
+
+  /// Spawns the scripted fault events and (when crash_rate > 0) one random
+  /// crash/repair loop per PE.  Call once, before the workload starts.
+  void SpawnFaultProcesses();
+
+  /// Runs one query as a supervised attempt chain: deadline assignment,
+  /// fail-fast / cancellation on PE failure, capped exponential backoff
+  /// between attempts, and metrics accounting (timed out / retried /
+  /// failed / degraded).  `make` is invoked once per attempt.
+  sim::Task<> Supervise(AttemptFactory make);
+
+  /// True when `pe` is currently down (executors fail fast against it).
+  bool PeFailed(PeId pe) const;
+
+  // Attempt registry (RunAttempt's registration RAII).
+  void Register(QueryAttempt* attempt) { active_.push_back(attempt); }
+  void Unregister(QueryAttempt* attempt);
+
+  sim::Scheduler& sched();
+
+ private:
+  sim::Task<> ApplyAt(FaultEvent event);
+  sim::Task<> RandomFaultLoop(PeId pe);
+  void ApplyCrash(PeId pe);
+  void ApplyRecovery(PeId pe);
+
+  Cluster& cluster_;
+  std::vector<QueryAttempt*> active_;
+  sim::Rng fault_rng_;
+};
+
+}  // namespace pdblb
+
+#endif  // PDBLB_ENGINE_FAULTS_H_

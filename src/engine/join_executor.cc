@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/skew.h"
+#include "engine/faults.h"
 #include "engine/parop.h"
 #include "join/local_join.h"
 #include "simkern/task_group.h"
@@ -51,7 +52,7 @@ sim::Task<> ProbeConsumer(Cluster& c, LocalJoin* join, BatchChannel* channel,
 
 }  // namespace
 
-sim::Task<> ExecuteJoinQuery(Cluster& c) {
+sim::Task<> ExecuteJoinQuery(Cluster& c, QueryAttempt* qa) {
   sim::Scheduler& sched = c.sched();
   const SystemConfig& cfg = c.config();
   const CpuCosts& costs = cfg.costs;
@@ -61,13 +62,16 @@ sim::Task<> ExecuteJoinQuery(Cluster& c) {
   // coordinating PE uniformly over all PEs).
   const PeId coord =
       static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1));
+  if (qa != nullptr && !qa->AddParticipant(coord)) co_return;
   co_await c.pe(coord).admission().Acquire();
+  AdmissionGuard admission(sched, c.pe(coord).admission());
   co_await UseCpu(c, coord, costs.initiate_txn);
 
   // Under strict 2PL the read-only query locks every scanned page; under
   // the base assumption / multiversion CC it reads lock-free (footnote 1).
   const TxnId read_txn =
       cfg.cc_scheme == CcScheme::kTwoPhaseLocking ? c.NextTxnId() : 0;
+  TxnLocksGuard read_locks(&c, read_txn);
 
   // Consult the control node for the current system state (request+reply).
   co_await c.net().ControlMessage(coord, 0);
@@ -98,6 +102,11 @@ sim::Task<> ExecuteJoinQuery(Cluster& c) {
   participants.insert(a_nodes.begin(), a_nodes.end());
   participants.insert(b_nodes.begin(), b_nodes.end());
   participants.insert(plan.pes.begin(), plan.pes.end());
+  if (qa != nullptr &&
+      !qa->AddParticipants({participants.begin(), participants.end()})) {
+    co_return;
+  }
+  for (PeId pe : participants) read_locks.AddPe(pe);
 
   // Start the subqueries: the coordinator serializes its send costs, the
   // deliveries run in parallel.
@@ -249,9 +258,10 @@ sim::Task<> ExecuteJoinQuery(Cluster& c) {
     if (read_txn != 0) {
       for (PeId dest : participants) c.pe(dest).locks().ReleaseAll(read_txn);
     }
+    read_locks.Disarm();
   }
   co_await UseCpu(c, coord, costs.terminate_txn);
-  c.pe(coord).admission().Release();
+  admission.ReleaseNow();
 
   int64_t temp_written = 0;
   int64_t temp_read = 0;

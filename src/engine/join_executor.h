@@ -11,13 +11,16 @@
 #define PDBLB_ENGINE_JOIN_EXECUTOR_H_
 
 #include "engine/cluster.h"
+#include "engine/faults.h"
 #include "simkern/task.h"
 
 namespace pdblb {
 
 /// Executes one join query end to end; records metrics on completion.
 /// Spawn via Scheduler::Spawn (open workload) or await (single-user mode).
-sim::Task<> ExecuteJoinQuery(Cluster& cluster);
+/// `qa` links the query to the fault injector's supervision (fail fast on
+/// dead PEs, cancellation on crash); nullptr in fault-free runs.
+sim::Task<> ExecuteJoinQuery(Cluster& cluster, QueryAttempt* qa = nullptr);
 
 }  // namespace pdblb
 

@@ -67,6 +67,34 @@ class MetricsCollector {
     memory_queue_wait_.Add(wait_ms);
   }
 
+  // --- fault injection (engine/faults.h) ----------------------------------
+
+  /// A query attempt exceeded its deadline (kDeadlineExceeded, no retry).
+  void RecordQueryTimedOut(SimTime now) {
+    if (!Measuring(now)) return;
+    ++queries_timed_out_;
+  }
+  /// One retry of a query whose attempt hit a failed PE (kUnavailable).
+  void RecordQueryRetried(SimTime now) {
+    if (!Measuring(now)) return;
+    ++queries_retried_;
+  }
+  /// A query exhausted its retry budget.
+  void RecordQueryFailed(SimTime now) {
+    if (!Measuring(now)) return;
+    ++queries_failed_;
+  }
+  /// A query completed, but only after at least one retry.
+  void RecordQueryDegraded(SimTime now) {
+    if (!Measuring(now)) return;
+    ++queries_degraded_;
+  }
+  /// PE crash / recovery events are counted over the whole run (they are
+  /// scripted or rate-driven, not workload outcomes, so warm-up applies
+  /// no differently).
+  void RecordPeCrash() { ++pe_crashes_; }
+  void RecordPeRecovery() { ++pe_recoveries_; }
+
   const sim::SampleStat& join_rt() const { return join_rt_; }
   const sim::SampleStat& oltp_rt() const { return oltp_rt_; }
   const sim::SampleStat& scan_rt() const { return scan_rt_; }
@@ -84,6 +112,12 @@ class MetricsCollector {
   int64_t temp_pages_written() const { return temp_pages_written_; }
   int64_t temp_pages_read() const { return temp_pages_read_; }
   int64_t oltp_aborts() const { return oltp_aborts_; }
+  int64_t queries_timed_out() const { return queries_timed_out_; }
+  int64_t queries_retried() const { return queries_retried_; }
+  int64_t queries_failed() const { return queries_failed_; }
+  int64_t queries_degraded() const { return queries_degraded_; }
+  int64_t pe_crashes() const { return pe_crashes_; }
+  int64_t pe_recoveries() const { return pe_recoveries_; }
 
  private:
   SimTime warmup_end_ = 0.0;
@@ -102,6 +136,12 @@ class MetricsCollector {
   int64_t temp_pages_written_ = 0;
   int64_t temp_pages_read_ = 0;
   int64_t oltp_aborts_ = 0;
+  int64_t queries_timed_out_ = 0;
+  int64_t queries_retried_ = 0;
+  int64_t queries_failed_ = 0;
+  int64_t queries_degraded_ = 0;
+  int64_t pe_crashes_ = 0;
+  int64_t pe_recoveries_ = 0;
 };
 
 /// Flat result record of one simulation run (what benches print).
@@ -143,6 +183,16 @@ struct MetricsReport {
   // Concurrency control (aggregated over all PEs during measurement).
   int64_t lock_waits = 0;
   int64_t deadlock_aborts = 0;
+
+  // Fault injection / query deadlines (engine/faults.h); all zero in
+  // fault-free runs.  Query counters cover the measurement window; crash /
+  // recovery counters cover the whole run.
+  int64_t queries_timed_out = 0;
+  int64_t queries_retried = 0;
+  int64_t queries_failed = 0;
+  int64_t queries_degraded = 0;
+  int64_t pe_crashes = 0;
+  int64_t pe_recoveries = 0;
 
   double measurement_seconds = 0.0;
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/skew.h"
+#include "engine/faults.h"
 #include "engine/parop.h"
 #include "join/local_join.h"
 #include "simkern/task_group.h"
@@ -50,7 +51,7 @@ sim::Task<> ProbeConsumer(Cluster& c, LocalJoin* join, BatchChannel* channel,
 
 }  // namespace
 
-sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c) {
+sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c, QueryAttempt* qa) {
   sim::Scheduler& sched = c.sched();
   const SystemConfig& cfg = c.config();
   const CpuCosts& costs = cfg.costs;
@@ -60,7 +61,9 @@ sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c) {
 
   const PeId coord =
       static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1));
+  if (qa != nullptr && !qa->AddParticipant(coord)) co_return;
   co_await c.pe(coord).admission().Acquire();
+  AdmissionGuard admission(sched, c.pe(coord).admission());
   co_await UseCpu(c, coord, costs.initiate_txn);
 
   // Intermediate-result location: empty before stage 1 (inner comes from
@@ -109,6 +112,10 @@ sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c) {
       participants.insert(result_pes.begin(), result_pes.end());
     }
     participants.insert(plan.pes.begin(), plan.pes.end());
+    if (qa != nullptr &&
+        !qa->AddParticipants({participants.begin(), participants.end()})) {
+      co_return;
+    }
     {
       sim::TaskGroup startup(sched);
       for (PeId dest : participants) {
@@ -232,7 +239,7 @@ sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c) {
     co_await commits.Wait();
   }
   co_await UseCpu(c, coord, costs.terminate_txn);
-  c.pe(coord).admission().Release();
+  admission.ReleaseNow();
   c.metrics().RecordMultiwayJoin(sched.Now() - t0, stages, sched.Now());
 }
 

@@ -17,12 +17,16 @@
 #define PDBLB_ENGINE_MULTIWAY_EXECUTOR_H_
 
 #include "engine/cluster.h"
+#include "engine/faults.h"
 #include "simkern/task.h"
 
 namespace pdblb {
 
-/// Executes one multi-way join (config: SystemConfig::multiway_join).
-sim::Task<> ExecuteMultiwayJoinQuery(Cluster& cluster);
+/// Executes one multi-way join (config: SystemConfig::multiway_join).  `qa`
+/// links the query to fault supervision (engine/faults.h); nullptr when
+/// faults are disabled.
+sim::Task<> ExecuteMultiwayJoinQuery(Cluster& cluster,
+                                     QueryAttempt* qa = nullptr);
 
 }  // namespace pdblb
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "engine/faults.h"
 #include "engine/parop.h"
 
 namespace pdblb {
@@ -85,23 +86,28 @@ sim::Task<bool> OltpAttempt(Cluster& c, PeId home, TxnId txn) {
 
 }  // namespace
 
-sim::Task<> ExecuteOltpTransaction(Cluster& c, PeId home) {
+sim::Task<> ExecuteOltpTransaction(Cluster& c, PeId home, QueryAttempt* qa) {
   const SimTime t0 = c.sched().Now();
   ProcessingElement& pe = c.pe(home);
+  if (qa != nullptr && !qa->AddParticipant(home)) co_return;
   co_await pe.admission().Acquire();
+  AdmissionGuard admission(c.sched(), pe.admission());
 
   int aborts = 0;
   while (true) {
     TxnId txn = c.NextTxnId();
+    TxnLocksGuard txn_locks(&c, txn);
+    txn_locks.AddPe(home);
     bool ok = co_await OltpAttempt(c, home, txn);
     pe.locks().ReleaseAll(txn);
+    txn_locks.Disarm();
     if (ok) break;
     ++aborts;
     // Deadlock victim: back off and restart with a fresh txn id.
     co_await c.sched().Delay(10.0);
   }
 
-  pe.admission().Release();
+  admission.ReleaseNow();
   c.metrics().RecordOltp(c.sched().Now() - t0, aborts, c.sched().Now());
 }
 

@@ -10,12 +10,16 @@
 #define PDBLB_ENGINE_OLTP_EXECUTOR_H_
 
 #include "engine/cluster.h"
+#include "engine/faults.h"
 #include "simkern/task.h"
 
 namespace pdblb {
 
-/// Executes one OLTP transaction at its home node; records metrics.
-sim::Task<> ExecuteOltpTransaction(Cluster& cluster, PeId home);
+/// Executes one OLTP transaction at its home node; records metrics.  `qa`
+/// links the transaction to fault supervision (engine/faults.h); nullptr
+/// when faults are disabled.
+sim::Task<> ExecuteOltpTransaction(Cluster& cluster, PeId home,
+                                   QueryAttempt* qa = nullptr);
 
 }  // namespace pdblb
 

@@ -51,6 +51,14 @@ class ProcessingElement {
                                  static_cast<uint16_t>(id))) {}
 
   PeId id() const { return id_; }
+
+  // --- failure state (engine/faults.h) -----------------------------------
+  // A failed PE rejects new work (executors fail fast with kUnavailable)
+  // while its resident queries are cancelled by the fault injector.  The
+  // flag is flipped by FaultInjector only; fault-free runs never see it.
+  bool failed() const { return failed_; }
+  void set_failed(bool failed) { failed_ = failed; }
+
   sim::Resource& cpu() { return cpu_; }
   DiskArray& disks() { return *disks_; }
   BufferManager& buffer() { return buffer_; }
@@ -71,6 +79,7 @@ class ProcessingElement {
 
  private:
   PeId id_;
+  bool failed_ = false;
   sim::Resource cpu_;
   std::unique_ptr<DiskArray> disks_;
   BufferManager buffer_;

@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "engine/faults.h"
 #include "engine/parop.h"
 #include "simkern/task_group.h"
 
@@ -110,7 +111,7 @@ sim::Task<> ScanFragment(Cluster& c, PeId node, const Relation& rel,
 
 }  // namespace
 
-sim::Task<> ExecuteScanQuery(Cluster& c) {
+sim::Task<> ExecuteScanQuery(Cluster& c, QueryAttempt* qa) {
   sim::Scheduler& sched = c.sched();
   const SystemConfig& cfg = c.config();
   const ScanQueryConfig& q = cfg.scan_query;
@@ -122,11 +123,18 @@ sim::Task<> ExecuteScanQuery(Cluster& c) {
 
   const PeId coord =
       static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1));
+  if (qa != nullptr &&
+      (!qa->AddParticipant(coord) || !qa->AddParticipants(nodes))) {
+    co_return;
+  }
   co_await c.pe(coord).admission().Acquire();
+  AdmissionGuard admission(sched, c.pe(coord).admission());
   co_await UseCpu(c, coord, costs.initiate_txn);
 
   const TxnId read_txn =
       cfg.cc_scheme == CcScheme::kTwoPhaseLocking ? c.NextTxnId() : 0;
+  TxnLocksGuard read_locks(&c, read_txn);
+  for (PeId node : nodes) read_locks.AddPe(node);
 
   // Subquery startup (the scan placement is prescribed by the data
   // allocation, so no control-node round trip is needed).
@@ -172,9 +180,10 @@ sim::Task<> ExecuteScanQuery(Cluster& c) {
     if (read_txn != 0) {
       for (PeId node : nodes) c.pe(node).locks().ReleaseAll(read_txn);
     }
+    read_locks.Disarm();
   }
   co_await UseCpu(c, coord, costs.terminate_txn);
-  c.pe(coord).admission().Release();
+  admission.ReleaseNow();
   c.metrics().RecordScan(sched.Now() - t0, sched.Now());
 }
 
@@ -248,7 +257,7 @@ sim::Task<> UpdateFragment(Cluster& c, PeId node, const Relation& rel,
 
 }  // namespace
 
-sim::Task<> ExecuteUpdateQuery(Cluster& c) {
+sim::Task<> ExecuteUpdateQuery(Cluster& c, QueryAttempt* qa) {
   sim::Scheduler& sched = c.sched();
   const SystemConfig& cfg = c.config();
   const UpdateQueryConfig& q = cfg.update_query;
@@ -260,7 +269,12 @@ sim::Task<> ExecuteUpdateQuery(Cluster& c) {
 
   const PeId coord =
       static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1));
+  if (qa != nullptr &&
+      (!qa->AddParticipant(coord) || !qa->AddParticipants(nodes))) {
+    co_return;
+  }
   co_await c.pe(coord).admission().Acquire();
+  AdmissionGuard admission(sched, c.pe(coord).admission());
 
   const int64_t update_total = std::max<int64_t>(
       1, static_cast<int64_t>(q.selectivity *
@@ -271,6 +285,8 @@ sim::Task<> ExecuteUpdateQuery(Cluster& c) {
   int aborts = 0;
   while (true) {
     TxnId txn = c.NextTxnId();
+    TxnLocksGuard txn_locks(&c, txn);
+    for (PeId node : nodes) txn_locks.AddPe(node);
     co_await UseCpu(c, coord, costs.initiate_txn);
 
     {
@@ -307,17 +323,19 @@ sim::Task<> ExecuteUpdateQuery(Cluster& c) {
       co_await c.pe(coord).disks().LogWrite();
       co_await commits.Wait();
       for (PeId node : nodes) c.pe(node).locks().ReleaseAll(txn);
+      txn_locks.Disarm();
       co_await UseCpu(c, coord, costs.terminate_txn);
       break;
     }
 
     // Deadlock victim: release everything, back off, restart.
     for (PeId node : nodes) c.pe(node).locks().ReleaseAll(txn);
+    txn_locks.Disarm();
     ++aborts;
     co_await sched.Delay(10.0);
   }
 
-  c.pe(coord).admission().Release();
+  admission.ReleaseNow();
   c.metrics().RecordUpdate(sched.Now() - t0, aborts, sched.Now());
 }
 

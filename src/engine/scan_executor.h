@@ -19,15 +19,18 @@
 #define PDBLB_ENGINE_SCAN_EXECUTOR_H_
 
 #include "engine/cluster.h"
+#include "engine/faults.h"
 #include "simkern/task.h"
 
 namespace pdblb {
 
-/// Executes one scan query (config: SystemConfig::scan_query).
-sim::Task<> ExecuteScanQuery(Cluster& cluster);
+/// Executes one scan query (config: SystemConfig::scan_query).  `qa` links
+/// the query to fault supervision (engine/faults.h); nullptr when faults
+/// are disabled.
+sim::Task<> ExecuteScanQuery(Cluster& cluster, QueryAttempt* qa = nullptr);
 
 /// Executes one update statement (config: SystemConfig::update_query).
-sim::Task<> ExecuteUpdateQuery(Cluster& cluster);
+sim::Task<> ExecuteUpdateQuery(Cluster& cluster, QueryAttempt* qa = nullptr);
 
 }  // namespace pdblb
 

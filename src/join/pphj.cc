@@ -174,6 +174,10 @@ sim::Task<> Pphj::CompleteProbe() {
 void Pphj::Release() {
   if (!acquired_ || released_) return;
   released_ = true;
+  // At scheduler teardown the owning frame is destroyed after the buffer
+  // manager (Cluster member order); giving back the reservation would touch
+  // a dead object, and nobody is left to account it anyway.
+  if (sched_.tearing_down()) return;
   buffer_.UnregisterVictim(this);
   buffer_.ReleaseReservation(reserved_pages_);
   reserved_pages_ = 0;

@@ -147,6 +147,8 @@ sim::Task<> SortMergeJoin::CompleteProbe() {
 void SortMergeJoin::Release() {
   if (!acquired_ || released_) return;
   released_ = true;
+  // See Pphj::Release: no reservation accounting at scheduler teardown.
+  if (sched_.tearing_down()) return;
   buffer_.ReleaseReservation(reserved_pages_);
   reserved_pages_ = 0;
 }

@@ -57,13 +57,43 @@ sim::Task<bool> LockManager::Lock(TxnId txn, LockKey key, LockMode mode) {
   Waiter waiter{txn, mode, nullptr, false, false};
   entry.waiters.push_back(&waiter);
 
+  // `waiter` lives on this coroutine frame; the queue holds a raw pointer
+  // into it.  The awaiter's destructor undoes that registration when the
+  // frame is destroyed mid-suspension (Scheduler::Cancel cascade): either
+  // the waiter is still queued (erase it) or it was already granted/aborted
+  // and a wake event is in flight (scrub it).  A granted lock stays held —
+  // the cancelling supervisor runs ReleaseAll(txn) afterwards.  The
+  // scheduler pointer is stored directly because at full teardown the
+  // manager itself may already be gone.
   struct Awaiter {
+    sim::Scheduler* sched;
+    LockManager* mgr;
+    LockKey key;
     Waiter* w;
+    std::coroutine_handle<> pending = nullptr;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) { w->handle = h; }
-    void await_resume() const noexcept {}
+    void await_suspend(std::coroutine_handle<> h) {
+      pending = h;
+      w->handle = h;
+    }
+    void await_resume() noexcept { pending = nullptr; }
+    ~Awaiter() {
+      if (!pending || sched->tearing_down()) return;
+      auto it = mgr->table_.find(key);
+      if (it != mgr->table_.end()) {
+        auto& ws = it->second.waiters;
+        auto pos = std::find(ws.begin(), ws.end(), w);
+        if (pos != ws.end()) {
+          ws.erase(pos);
+          // Removing a blocked waiter may unblock the queue behind it.
+          mgr->GrantWaiters(key, it->second);
+          return;
+        }
+      }
+      sched->CancelHandle(pending);
+    }
   };
-  co_await Awaiter{&waiter};
+  co_await Awaiter{&sched_, this, key, &waiter};
 
   if (waiter.aborted) {
     ++deadlock_aborts_;

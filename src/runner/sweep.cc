@@ -70,6 +70,13 @@ std::vector<SweepResult> Sweep::Run(const SweepOptions& options) const {
           cfg.trace.enabled = true;
           cfg.trace.capacity = options.trace_capacity;
         }
+        if (!options.fault_spec.empty()) {
+          Status st = ParseFaultSpec(options.fault_spec, &cfg.faults);
+          if (!st.ok()) throw std::runtime_error(st.ToString());
+        }
+        if (options.query_timeout_ms >= 0.0) {
+          cfg.faults.query_timeout_ms = options.query_timeout_ms;
+        }
         Cluster cluster(cfg);
         SweepResult& slot = results[i];
         slot.grid_index = i;
@@ -132,6 +139,8 @@ std::string ResultsCsv(const std::vector<SweepResult>& results) {
       "name,x,series,join_rt_ms,avg_degree,cpu_util,disk_util,"
       "mem_util,temp_pages_per_join,join_qps,oltp_rt_ms,oltp_tps,"
       "scan_rt_ms,update_rt_ms,multiway_rt_ms,lock_waits,"
+      "queries_timed_out,queries_retried,queries_failed,queries_degraded,"
+      "pe_crashes,pe_recoveries,"
       "kernel_events,kernel_handoffs,seed\n";
   for (const SweepResult& res : results) {
     const MetricsReport& r = res.report;
@@ -141,13 +150,20 @@ std::string ResultsCsv(const std::vector<SweepResult>& results) {
       return std::snprintf(
           buf, cap,
           "\"%s\",%s,\"%s\",%.3f,%.3f,%.4f,%.4f,%.4f,%.2f,%.3f,%.3f,%.3f,"
-          "%.3f,%.3f,%.3f,%lld,%llu,%llu,%llu\n",
+          "%.3f,%.3f,%.3f,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%llu,%llu,"
+          "%llu\n",
           res.point.name.c_str(), res.point.x_label.c_str(),
           res.point.series.c_str(), r.join_rt_ms, r.avg_degree,
           r.cpu_utilization, r.disk_utilization, r.memory_utilization,
           r.temp_pages_written_per_join, r.join_throughput_qps, r.oltp_rt_ms,
           r.oltp_throughput_tps, r.scan_rt_ms, r.update_rt_ms,
           r.multiway_rt_ms, static_cast<long long>(r.lock_waits),
+          static_cast<long long>(r.queries_timed_out),
+          static_cast<long long>(r.queries_retried),
+          static_cast<long long>(r.queries_failed),
+          static_cast<long long>(r.queries_degraded),
+          static_cast<long long>(r.pe_crashes),
+          static_cast<long long>(r.pe_recoveries),
           static_cast<unsigned long long>(r.kernel_events),
           static_cast<unsigned long long>(r.kernel_handoffs),
           static_cast<unsigned long long>(res.point.config.seed));

@@ -89,6 +89,16 @@ struct SweepOptions {
   /// for the current engine limitation).
   int shards = 0;
 
+  /// When non-empty, parsed as a fault spec (common/config.h
+  /// ParseFaultSpec: "crash@8000:pe3;recover@12000:pe3", "rate=0.5;...")
+  /// and applied on top of every point's config.faults — the drivers'
+  /// --faults flag.  Fault timing draws come from a dedicated RNG stream,
+  /// so the CSV stays bit-identical across --jobs/--shards with faults on.
+  std::string fault_spec;
+  /// When >= 0, overrides every point's config.faults.query_timeout_ms —
+  /// the drivers' --query-timeout-ms flag (0 disables timeouts).
+  double query_timeout_ms = -1.0;
+
   /// When non-empty, event tracing is enabled for every point (overriding
   /// point.config.trace) and each point's retained trace is dumped to
   /// "<trace_path>.<declared_index>.csv" as it completes.  File names

@@ -84,7 +84,14 @@ class Channel {
   auto Receive() {
     struct Awaiter {
       Channel* ch;
+      // Stored directly (not reached through `ch`): at scheduler teardown
+      // the channel may already be destroyed, and the teardown check must
+      // not touch it.
+      Scheduler* sched;
       bool suspended = false;
+      // Set while suspended; the destructor undoes the wait when the frame
+      // is destroyed mid-suspension (Scheduler::Cancel cascade).
+      std::coroutine_handle<> pending = nullptr;
       bool await_ready() const noexcept {
         // A value may be claimed synchronously only if no in-flight wakeup
         // is counting on it; otherwise a woken consumer would starve.
@@ -100,9 +107,24 @@ class Channel {
       }
       void await_suspend(std::coroutine_handle<> h) {
         suspended = true;
+        pending = h;
         ch->waiters_.push_back(h);
       }
+      ~Awaiter() {
+        if (!pending || sched->tearing_down()) return;
+        // Still queued: just leave.  Already woken (hand-off or Close
+        // broadcast): scrub the wake and give the promise back — the value
+        // reserved for us becomes claimable by other receivers again.
+        if (ch->waiters_.EraseFirstIf(
+                [&](std::coroutine_handle<> w) { return w == pending; })) {
+          return;
+        }
+        sched->CancelHandle(pending);
+        assert(ch->pending_wakeups_ > 0);
+        --ch->pending_wakeups_;
+      }
       std::optional<T> await_resume() {
+        pending = nullptr;
         if (suspended) {
           assert(ch->pending_wakeups_ > 0);
           --ch->pending_wakeups_;
@@ -122,7 +144,7 @@ class Channel {
         return v;
       }
     };
-    return Awaiter{this};
+    return Awaiter{this, &sched_};
   }
 
  private:

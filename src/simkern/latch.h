@@ -46,13 +46,31 @@ class Latch {
   auto Wait() {
     struct Awaiter {
       Latch* latch;
+      // Stored directly (not reached through `latch`): at scheduler
+      // teardown the latch may already be destroyed, and the teardown
+      // check must not touch it.
+      Scheduler* sched;
+      // Set while suspended; the destructor undoes the wait when the frame
+      // is destroyed mid-suspension (Scheduler::Cancel cascade).
+      std::coroutine_handle<> pending = nullptr;
       bool await_ready() const noexcept { return latch->count_ == 0; }
       void await_suspend(std::coroutine_handle<> h) {
+        pending = h;
         latch->waiters_.push_back(h);
       }
-      void await_resume() const noexcept {}
+      void await_resume() noexcept { pending = nullptr; }
+      ~Awaiter() {
+        if (!pending || sched->tearing_down()) return;
+        // Still queued (latch not yet fired) or already scheduled by the
+        // final CountDown — erase or scrub accordingly.
+        if (latch->waiters_.EraseFirstIf(
+                [&](std::coroutine_handle<> w) { return w == pending; })) {
+          return;
+        }
+        sched->CancelHandle(pending);
+      }
     };
-    return Awaiter{this};
+    return Awaiter{this, &sched_};
   }
 
  private:

@@ -46,6 +46,18 @@ void Resource::Release() {
   }
 }
 
+void Resource::CancelWaiter(std::coroutine_handle<> h) {
+  if (waiters_.EraseFirstIf(
+          [&](const Waiter& w) { return w.handle == h; })) {
+    return;  // never granted: nothing held, nobody to wake
+  }
+  // Not in the queue, so Release() already granted this waiter a server and
+  // scheduled its wake-up: scrub the pending event and return the server —
+  // which may grant the next waiter inline, exactly as a normal release.
+  sched_.CancelHandle(h);
+  Release();
+}
+
 double Resource::BusyIntegral() const {
   // Include the busy time accrued since the last state change.
   return busy_integral_ +

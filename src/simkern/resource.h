@@ -51,6 +51,15 @@ class Resource {
   auto Acquire() {
     struct Awaiter {
       Resource* res;
+      // Stored directly (not reached through `res`): at scheduler teardown
+      // the resource may already be destroyed, and the teardown check must
+      // not touch it.
+      Scheduler* sched;
+      // Set while suspended so the destructor can undo a pending wait when
+      // the frame is destroyed mid-suspension (Scheduler::Cancel cascade).
+      // A synchronous grant (await_ready) never sets it: the caller then
+      // owns the server and its own cleanup must Release().
+      std::coroutine_handle<> pending = nullptr;
       bool await_ready() {
         if (res->free_ > 0) {
           res->Grant();
@@ -59,12 +68,16 @@ class Resource {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
+        pending = h;
         res->Enqueue(h, kAcquireSentinel);
       }
       // Woken waiters were granted a server by Release().
-      void await_resume() const noexcept {}
+      void await_resume() noexcept { pending = nullptr; }
+      ~Awaiter() {
+        if (pending && !sched->tearing_down()) res->CancelWaiter(pending);
+      }
     };
-    return Awaiter{this};
+    return Awaiter{this, &sched_};
   }
 
   /// Releases one server and hands it to the longest-waiting process.
@@ -76,9 +89,13 @@ class Resource {
   auto Use(SimTime duration) {
     struct Awaiter {
       Resource* res;
+      // See Acquire(): teardown check must not reach through `res`.
+      Scheduler* sched;
       SimTime service;
+      std::coroutine_handle<> pending = nullptr;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
+        pending = h;
         if (res->free_ > 0) {
           // Server available: the service interval starts now; resume the
           // caller when it ends.
@@ -91,10 +108,16 @@ class Resource {
       }
       // Resumed at end of service (the releasing side scheduled us at
       // grant time + service).  Free the server and hand off.
-      void await_resume() const { res->Release(); }
+      void await_resume() {
+        pending = nullptr;
+        res->Release();
+      }
+      ~Awaiter() {
+        if (pending && !sched->tearing_down()) res->CancelWaiter(pending);
+      }
     };
     assert(duration >= 0.0);
-    return Awaiter{this, duration};
+    return Awaiter{this, &sched_, duration};
   }
 
   int servers() const { return servers_; }
@@ -133,6 +156,10 @@ class Resource {
 
   void Grant();           // free_--, update integral
   void AccumulateBusy();  // fold busy time up to Now() into the integral
+  // Undoes a suspended waiter whose frame is being destroyed mid-wait:
+  // still-queued entries are erased; already-granted ones (wake pending in
+  // the calendar) are scrubbed and their server released back.
+  void CancelWaiter(std::coroutine_handle<> h);
 
   Scheduler& sched_;
   std::string name_;

@@ -70,6 +70,30 @@ class RingBuffer {
     return data_[head_];
   }
 
+  /// FIFO-indexed access: `(*this)[0]` is the front, `[size()-1]` the back.
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return data_[Index(i)];
+  }
+
+  /// Removes the first element matching `pred`, preserving FIFO order of
+  /// the rest (elements behind the hole shift forward one slot).  Used by
+  /// cancellation paths to pull a destroyed frame's waiter entry out of the
+  /// queue; O(size) moves, no allocation.  Returns false if nothing matched.
+  template <typename Pred>
+  bool EraseFirstIf(Pred pred) {
+    for (size_t i = 0; i < size_; ++i) {
+      if (!pred(data_[Index(i)])) continue;
+      for (size_t j = i; j + 1 < size_; ++j) {
+        data_[Index(j)] = std::move(data_[Index(j + 1)]);
+      }
+      data_[Index(size_ - 1)].~T();
+      --size_;
+      return true;
+    }
+    return false;
+  }
+
   void pop_front() {
     assert(size_ > 0);
     data_[head_].~T();

@@ -18,13 +18,47 @@ Scheduler::~Scheduler() {
   // but never calendar entries, while calendar callbacks may reference
   // frame state (so they are destroyed, not run, afterwards).  Stale
   // coroutine handles left in the calendar by destroyed frames are never
-  // dispatched.
+  // dispatched.  tearing_down_ tells cancellation-aware awaiter/guard
+  // destructors to no-op: the resources and queues they would clean up may
+  // already be gone (Cluster destroys its members before the scheduler),
+  // and nothing here will run again anyway.
+  tearing_down_ = true;
   detached_.DestroyAll();
   // Destroy (without running) any callbacks still sitting in the calendar.
+  // Tombstones carry payload 0 (low bit 0) and fall through the callback
+  // test like any coroutine entry.
   for (const Event& e : heap_) DestroyPendingCallback(e);
   for (size_t i = 0; i < ring_size_; ++i) {
     DestroyPendingCallback(ring_[(ring_head_ + i) & (ring_.size() - 1)]);
   }
+}
+
+bool Scheduler::CancelHandle(std::coroutine_handle<> h) {
+  assert(h);
+  const uint64_t bits = reinterpret_cast<uint64_t>(h.address());
+  // A suspended frame has at most one pending entry across the three
+  // structures, so stop at the first hit.  Calendar first: timer-style
+  // waits (Delay) dominate the cancellation paths.
+  for (Event& e : heap_) {
+    if (e.h == bits) {
+      e.h = kCancelledEvent;
+      return true;
+    }
+  }
+  for (size_t i = 0; i < ring_size_; ++i) {
+    Event& e = ring_[(ring_head_ + i) & (ring_.size() - 1)];
+    if (e.h == bits) {
+      e.h = kCancelledEvent;
+      return true;
+    }
+  }
+  for (size_t i = 0; i < handoffs_.size(); ++i) {
+    if (handoffs_[i] == h) {
+      handoffs_[i] = nullptr;
+      return true;
+    }
+  }
+  return false;
 }
 
 void Scheduler::DestroyPendingCallback(const Event& event) {
@@ -169,6 +203,9 @@ bool Scheduler::PopNext(Event* out, SimTime until) {
 }
 
 void Scheduler::Dispatch(const Event& event) {
+  // Cancelled (tombstoned) events are dropped: no resume, no count, and
+  // Now() does not advance — as if the event had never been scheduled.
+  if (event.h == kCancelledEvent) return;
   now_ = event.at;
   ++events_processed_;
   if ((event.h & 1u) == 0) {
@@ -186,6 +223,7 @@ void Scheduler::RunTraced(SimTime until) {
     if (!handoffs_.empty()) {
       std::coroutine_handle<> h = handoffs_.front();
       handoffs_.pop_front();
+      if (!h) continue;  // cancelled hand-off entry
       ++inline_resumes_;
       // Lane resumes record statically as kChannel (see HandOff()).
       tracer_->Record(now_, TraceEventKind::kHandOff,
@@ -195,6 +233,7 @@ void Scheduler::RunTraced(SimTime until) {
       continue;
     }
     if (!PopNext(&event, until)) break;
+    if (event.h == kCancelledEvent) continue;  // no dispatch, no record
     now_ = event.at;
     ++events_processed_;
     // The record's seq is the event's schedule-time sequence number (the
@@ -263,6 +302,7 @@ void Scheduler::RunTracedBefore(SimTime bound) {
     if (!handoffs_.empty()) {
       std::coroutine_handle<> h = handoffs_.front();
       handoffs_.pop_front();
+      if (!h) continue;  // cancelled hand-off entry
       ++inline_resumes_;
       tracer_->Record(now_, TraceEventKind::kHandOff,
                       TraceTag(TraceSubsystem::kChannel).bits,
@@ -271,6 +311,7 @@ void Scheduler::RunTracedBefore(SimTime bound) {
       continue;
     }
     if (!PopNextBefore(&event, bound)) break;
+    if (event.h == kCancelledEvent) continue;  // no dispatch, no record
     now_ = event.at;
     ++events_processed_;
     tracer_->Record(event.at,
@@ -317,11 +358,27 @@ Task<> RunAndCountDown(Task<> task, Latch* latch) {
 
 Task<> WhenAll(Scheduler& sched, std::vector<Task<>> tasks) {
   Latch latch(sched, static_cast<int>(tasks.size()));
+  std::vector<uint64_t> ids;
+  ids.reserve(tasks.size());
+  // If this frame is destroyed mid-wait (cancellation cascade), the spawned
+  // members would outlive the latch they count down — cancel them first.
+  // Disarmed on the normal path, where completion already retired the ids.
+  struct MemberGuard {
+    Scheduler* sched;
+    std::vector<uint64_t>* ids;
+    bool armed = true;
+    ~MemberGuard() {
+      if (!armed) return;
+      for (uint64_t id : *ids) sched->Cancel(id);
+    }
+  };
+  MemberGuard guard{&sched, &ids};
   for (auto& t : tasks) {
-    sched.Spawn(RunAndCountDown(std::move(t), &latch));
+    ids.push_back(sched.SpawnWithId(RunAndCountDown(std::move(t), &latch)));
   }
   tasks.clear();
   co_await latch.Wait();
+  guard.armed = false;
 }
 
 }  // namespace pdblb::sim

@@ -88,11 +88,53 @@ class Scheduler {
   /// Starts a detached simulation process at the current time.  The frame
   /// self-destroys on completion; frames still suspended at ~Scheduler are
   /// destroyed through the detached-frame registry.
-  void Spawn(Task<> task) {
+  void Spawn(Task<> task) { (void)SpawnWithId(std::move(task)); }
+
+  /// Spawn variant returning a cancellation token.  Ids are never reused,
+  /// so a stale id held after the process finished (or was cancelled) is
+  /// harmless: Cancel()/Alive() simply no longer find it.
+  uint64_t SpawnWithId(Task<> task) {
     Task<>::Handle h = task.Detach();
-    detached_.Register(h, &h.promise());
+    const uint64_t id = next_spawn_id_++;
+    detached_.Register(h, &h.promise(), id);
     ScheduleHandle(now_, h);
+    return id;
   }
+
+  /// Cancels a detached process mid-run: scrubs its pending calendar/ring/
+  /// hand-off entry (no ghost dispatch) and destroys the frame, which
+  /// cascades through owned children — cancellation-aware awaiters
+  /// (Delay, Resource, Channel, Latch, TaskGroup, lockmgr/bufmgr waits)
+  /// remove their own queue entries and release held resources from their
+  /// destructors.  Must not be called on the currently-running process.
+  /// Returns false (no-op) if `id` already completed or was cancelled.
+  /// Allocation-free: the scrub overwrites entries in place.
+  bool Cancel(uint64_t id) {
+    std::coroutine_handle<> h = detached_.FindById(id);
+    if (!h) return false;
+    CancelHandle(h);  // the root may be parked in the calendar itself
+    h.destroy();
+    return true;
+  }
+
+  /// True while the detached process spawned as `id` is still in flight.
+  bool Alive(uint64_t id) const { return static_cast<bool>(detached_.FindById(id)); }
+
+  /// Removes the pending event that would resume `h`, if any: the matching
+  /// calendar/ring entry is tombstoned in place (heap order is untouched —
+  /// only the payload word changes) and hand-off lane entries are nulled;
+  /// the drain loops skip tombstones without dispatching, counting or
+  /// tracing them.  A suspended frame has at most one pending entry, so the
+  /// scan stops at the first hit.  Called by cancellation-aware awaiter
+  /// destructors; allocates nothing.
+  bool CancelHandle(std::coroutine_handle<> h);
+
+  /// True from the start of ~Scheduler: frames destroyed during teardown
+  /// must not touch resources or queues (Cluster members that own them are
+  /// already gone) — cancellation-aware destructors check this and no-op,
+  /// preserving the pre-cancellation teardown contract (stale handles left
+  /// in the calendar are never dispatched).
+  bool tearing_down() const { return tearing_down_; }
 
   /// Inline-resume entry point for blocking-primitive hand-offs (a channel
   /// value handed to a blocked consumer).  The handle is placed on the
@@ -130,11 +172,18 @@ class Scheduler {
     struct Awaiter {
       Scheduler* sched;
       SimTime at;
+      // Set while suspended; lets the destructor scrub the pending calendar
+      // entry when the frame is destroyed mid-wait (Scheduler::Cancel).
+      std::coroutine_handle<> pending = nullptr;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
+        pending = h;
         sched->ScheduleHandle(at, h);
       }
-      void await_resume() const noexcept {}
+      void await_resume() noexcept { pending = nullptr; }
+      ~Awaiter() {
+        if (pending && !sched->tearing_down()) sched->CancelHandle(pending);
+      }
     };
     assert(delta >= 0.0);
     return Awaiter{this, now_ + delta};
@@ -147,11 +196,16 @@ class Scheduler {
       Scheduler* sched;
       SimTime at;
       TraceTag tag;
+      std::coroutine_handle<> pending = nullptr;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
+        pending = h;
         sched->ScheduleHandle(at, h, tag);
       }
-      void await_resume() const noexcept {}
+      void await_resume() noexcept { pending = nullptr; }
+      ~Awaiter() {
+        if (pending && !sched->tearing_down()) sched->CancelHandle(pending);
+      }
     };
     assert(delta >= 0.0);
     return Awaiter{this, now_ + delta, tag};
@@ -287,6 +341,14 @@ class Scheduler {
     uint64_t seq;
     uint64_t h;
   };
+
+  // Tombstone payload for cancelled events.  0 can collide with neither a
+  // coroutine handle (ScheduleHandle asserts non-null) nor a callback cell
+  // (their words carry low bit 1), and its low bit 0 means the teardown
+  // callback sweep skips it for free.  Cancelled entries keep their (at,
+  // seq) key — overwriting only the payload preserves heap order — and are
+  // dropped by the drain loops without dispatch, count or trace record.
+  static constexpr uint64_t kCancelledEvent = 0;
   static_assert(sizeof(Event) == 24, "Event must stay a compact POD");
   static_assert(std::is_trivially_copyable_v<Event>);
 
@@ -431,10 +493,12 @@ class Scheduler {
   void RunCallbackCell(uint32_t idx);
   void DestroyPendingCallback(const Event& event);
 
-  // Resumes the oldest hand-off lane entry (see HandOff()).
+  // Resumes the oldest hand-off lane entry (see HandOff()).  Entries nulled
+  // by CancelHandle are dropped without a resume.
   void ResumeHandOff() {
     std::coroutine_handle<> h = handoffs_.front();
     handoffs_.pop_front();
+    if (!h) return;
     ++inline_resumes_;
     h.resume();
   }
@@ -452,9 +516,11 @@ class Scheduler {
 
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
+  uint64_t next_spawn_id_ = 1;
   uint64_t events_processed_ = 0;
   uint64_t inline_resumes_ = 0;
   bool shutting_down_ = false;
+  bool tearing_down_ = false;
 #if PDBLB_TRACE
   Tracer* tracer_ = nullptr;
 #endif

@@ -120,12 +120,25 @@ class DetachedRegistry {
  public:
   ~DetachedRegistry() { assert(frames_.empty() && "call DestroyAll() first"); }
 
-  inline void Register(std::coroutine_handle<> handle, PromiseBase* promise);
+  inline void Register(std::coroutine_handle<> handle, PromiseBase* promise,
+                       uint64_t id);
 
   void Unregister(uint32_t index) {
     frames_[index] = frames_.back();
     if (index < frames_.size() - 1) Reindex(frames_[index], index);
     frames_.pop_back();
+  }
+
+  /// Looks up a still-in-flight frame by its spawn id (Scheduler::Cancel).
+  /// Ids are never reused, so a finished frame's id simply misses.  Linear
+  /// scan: cancellation is rare and the registry holds only in-flight
+  /// roots, so an index structure would cost the hot Spawn path more than
+  /// it could ever save here.
+  std::coroutine_handle<> FindById(uint64_t id) const {
+    for (const Entry& e : frames_) {
+      if (e.id == id) return e.handle;
+    }
+    return nullptr;
   }
 
   /// Destroys every registered frame (most recently spawned first).  Each
@@ -144,6 +157,7 @@ class DetachedRegistry {
   struct Entry {
     std::coroutine_handle<> handle;
     PromiseBase* promise;
+    uint64_t id;
   };
   inline static void Reindex(const Entry& entry, uint32_t index);
 
@@ -191,11 +205,11 @@ struct PromiseBase {
 };
 
 inline void DetachedRegistry::Register(std::coroutine_handle<> handle,
-                                       PromiseBase* promise) {
+                                       PromiseBase* promise, uint64_t id) {
   assert(promise->detached && "only detached frames register");
   promise->registry = this;
   promise->registry_index = static_cast<uint32_t>(frames_.size());
-  frames_.push_back(Entry{handle, promise});
+  frames_.push_back(Entry{handle, promise, id});
 }
 
 inline void DetachedRegistry::Reindex(const Entry& entry, uint32_t index) {

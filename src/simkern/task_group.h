@@ -17,9 +17,13 @@ namespace pdblb::sim {
 
 /// A set of detached tasks with a joinable completion point.
 ///
-/// The group must outlive all tasks spawned into it (the usual pattern:
-/// a coroutine creates a TaskGroup on its frame, spawns into it, and
-/// `co_await group.Wait()` before the frame dies).
+/// The group must outlive all tasks spawned into it: members are detached
+/// frames holding a pointer back to the group.  The usual pattern — a
+/// coroutine creates a TaskGroup on its frame, spawns into it, and
+/// `co_await group.Wait()` before the frame dies — guarantees this on the
+/// normal path, and the destructor guarantees it on the cancellation path
+/// by cancelling every still-active member (Scheduler::Cancel cascade):
+/// destroying a frame that owns a TaskGroup with members in flight is safe.
 class TaskGroup {
  public:
   /// `tag` attributes the join wake-ups in event traces.
@@ -29,10 +33,24 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
+  ~TaskGroup() {
+    if (active_ == 0) return;
+    // Cancellation path: the owning frame dies with members in flight.
+    // Cancel every member still alive (finished ids are stale and no-op) so
+    // no member outlives the group — or the state of the owning frame its
+    // work referenced.
+    while (!member_ids_.empty()) {
+      sched_.Cancel(member_ids_.front());
+      member_ids_.pop_front();
+    }
+    active_ = 0;
+  }
+
   /// Starts `task` at the current simulation time as a member of the group.
   void Spawn(Task<> task) {
     ++active_;
-    sched_.Spawn(RunAndFinish(std::move(task), this));
+    member_ids_.push_back(sched_.SpawnWithId(RunAndFinish(std::move(task),
+                                                          this)));
   }
 
   int active() const { return active_; }
@@ -42,13 +60,27 @@ class TaskGroup {
   auto Wait() {
     struct Awaiter {
       TaskGroup* group;
+      // Stored directly (not reached through `group`): at scheduler
+      // teardown the group may already be destroyed, and the teardown
+      // check must not touch it.
+      Scheduler* sched;
+      std::coroutine_handle<> pending = nullptr;
       bool await_ready() const noexcept { return group->active_ == 0; }
       void await_suspend(std::coroutine_handle<> h) {
+        pending = h;
         group->waiters_.push_back(h);
       }
-      void await_resume() const noexcept {}
+      void await_resume() noexcept { pending = nullptr; }
+      ~Awaiter() {
+        if (!pending || sched->tearing_down()) return;
+        if (group->waiters_.EraseFirstIf(
+                [&](std::coroutine_handle<> w) { return w == pending; })) {
+          return;
+        }
+        sched->CancelHandle(pending);
+      }
     };
-    return Awaiter{this};
+    return Awaiter{this, &sched_};
   }
 
  private:
@@ -59,6 +91,11 @@ class TaskGroup {
 
   void Finish() {
     if (--active_ == 0) {
+      // All members done: drop their (now stale) cancellation ids so the
+      // ring stays sized to the concurrent high-water mark, not the total
+      // spawn count — a streaming group that repeatedly drains re-uses the
+      // same slots.
+      member_ids_.clear();
       while (!waiters_.empty()) {
         sched_.ScheduleHandle(sched_.Now(), waiters_.front(), tag_);
         waiters_.pop_front();
@@ -72,6 +109,9 @@ class TaskGroup {
   // Like Latch: groups are constructed per query and typically have one
   // waiter, which the inline capacity absorbs without an allocation.
   RingBuffer<std::coroutine_handle<>, 4> waiters_;
+  // Spawn ids of members, for destructor cancellation.  Cleared whenever
+  // the group drains; inline capacity covers typical fan-out.
+  RingBuffer<uint64_t, 8> member_ids_;
 };
 
 }  // namespace pdblb::sim
