@@ -25,6 +25,8 @@
 //                       bit-identical across --jobs/--shards with faults on
 //   --query-timeout-ms=T  give every query a T-ms deadline (0 disables);
 //                       overrides the per-point and --faults timeout
+//   --eviction=POLICY   override every point's buffer replacement policy
+//                       (lru | lru-k | lfu | clock; see docs/bufmgr.md)
 //   --fast              shrink warm-up/measurement (quick smoke runs)
 //   --list              print the point names of the (filtered) grid, don't run
 //   --quiet             suppress the per-point progress lines on stderr
@@ -88,6 +90,7 @@ struct BenchOptions {
   std::string csv_path;     // empty: no CSV
   std::string fault_spec;   // empty: no fault override (--faults=SPEC)
   double query_timeout_ms = -1.0;  // < 0: keep per-point configuration
+  std::string eviction;     // empty: keep per-point policy (--eviction=P)
   std::string filter;       // empty: whole grid
   std::string report_json;  // empty: no sweep-throughput report
   std::string trace_path;   // empty: tracing off
@@ -169,6 +172,16 @@ inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
         return 2;
       }
       opts.fault_spec = v;
+    } else if (const char* v = value_of(arg, "--eviction")) {
+      // Validate eagerly so a typo fails before the sweep starts.
+      EvictionPolicyKind probe;
+      Status st = ParseEvictionPolicy(v, &probe);
+      if (!st.ok()) {
+        std::fprintf(stderr, "invalid --eviction value: %s\n",
+                     st.ToString().c_str());
+        return 2;
+      }
+      opts.eviction = v;
     } else if (const char* v = value_of(arg, "--query-timeout-ms")) {
       char* end = nullptr;
       double timeout = std::strtod(v, &end);
@@ -194,6 +207,7 @@ inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
       std::fprintf(stderr,
                    "usage: %s [--jobs=N] [--shards=S] [--csv=PATH] "
                    "[--faults=SPEC] [--query-timeout-ms=T] "
+                   "[--eviction=lru|lru-k|lfu|clock] "
                    "[--filter=SUBSTR] [--seed=S] [--fast] [--list] [--quiet] "
                    "[--report-json=PATH] [--trace=PATH]\n",
                    argv[0]);
@@ -216,7 +230,7 @@ inline void PrintFigureTable(const Figure& fig,
   if (results.empty()) return;
   std::printf("\n=== %s ===\n", fig.title().c_str());
   TextTable t({fig.x_name(), "strategy", "join RT [ms]", "deg", "CPU util",
-               "disk util", "mem util", "temp pg/join", "join QPS",
+               "disk util", "mem util", "buf hit", "temp pg/join", "join QPS",
                "OLTP RT [ms]", "OLTP TPS", "kern Mev/s"});
   for (const runner::SweepResult& res : results) {
     const MetricsReport& r = res.report;
@@ -225,6 +239,9 @@ inline void PrintFigureTable(const Figure& fig,
               TextTable::Num(r.cpu_utilization, 2),
               TextTable::Num(r.disk_utilization, 2),
               TextTable::Num(r.memory_utilization, 2),
+              r.buffer_hits + r.buffer_misses > 0
+                  ? TextTable::Num(r.buffer_hit_ratio, 2)
+                  : "-",
               TextTable::Num(r.temp_pages_written_per_join, 1),
               TextTable::Num(r.join_throughput_qps, 2),
               r.oltp_completed > 0 ? TextTable::Num(r.oltp_rt_ms, 1) : "-",
@@ -306,6 +323,7 @@ inline int FigureMain(Figure& fig, const BenchOptions& opts) {
   run_opts.root_seed = opts.seed;
   run_opts.fault_spec = opts.fault_spec;
   run_opts.query_timeout_ms = opts.query_timeout_ms;
+  run_opts.eviction = opts.eviction;
   run_opts.trace_path = opts.trace_path;
   if (!opts.quiet) {
     run_opts.on_point_done = [](const runner::SweepPoint& point,

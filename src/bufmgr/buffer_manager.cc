@@ -9,50 +9,130 @@ namespace pdblb {
 
 BufferManager::BufferManager(sim::Scheduler& sched, const BufferConfig& config,
                              DiskArray& disks, std::string name)
-    : sched_(sched), config_(config), disks_(disks), name_(std::move(name)) {}
+    : sched_(sched),
+      config_(config),
+      disks_(disks),
+      name_(std::move(name)),
+      frames_(static_cast<size_t>(std::max(1, config.buffer_pages))),
+      policy_(EvictionPolicy::Create(config.eviction, frames_)) {
+  // Free list: lowest slot first, refilled LIFO on eviction.
+  const int32_t n = static_cast<int32_t>(frames_.size());
+  for (int32_t s = 0; s < n; ++s) frames_[s].next = s + 1 < n ? s + 1 : -1;
+  free_head_ = 0;
+  // Page index at <= 50% load so linear probes stay short.
+  size_t buckets = 16;
+  while (buckets < frames_.size() * 2) buckets <<= 1;
+  index_.assign(buckets, 0);
+  index_mask_ = static_cast<uint32_t>(buckets - 1);
+}
 
-void BufferManager::Touch(PageKey page) {
-  auto it = frames_.find(page);
-  assert(it != frames_.end());
-  Frame& f = it->second;
-  lru_.erase(f.lru_pos);
-  lru_.push_front(page);
-  f.lru_pos = lru_.begin();
+BufferManager::~BufferManager() {
+  for (RangeRuns* runs : run_scratch_) delete runs;
+}
+
+int32_t BufferManager::Lookup(PageKey page) const {
+  uint32_t i = static_cast<uint32_t>(PageKeyHash{}(page)) & index_mask_;
+  while (index_[i] != 0) {
+    int32_t slot = index_[i] - 1;
+    if (frames_[slot].page == page) return slot;
+    i = (i + 1) & index_mask_;
+  }
+  return -1;
+}
+
+void BufferManager::IndexInsert(PageKey page, int32_t slot) {
+  uint32_t i = static_cast<uint32_t>(PageKeyHash{}(page)) & index_mask_;
+  while (index_[i] != 0) i = (i + 1) & index_mask_;
+  index_[i] = slot + 1;
+}
+
+void BufferManager::IndexErase(PageKey page) {
+  uint32_t i = static_cast<uint32_t>(PageKeyHash{}(page)) & index_mask_;
+  while (true) {
+    assert(index_[i] != 0 && "erasing a page that is not indexed");
+    if (frames_[index_[i] - 1].page == page) break;
+    i = (i + 1) & index_mask_;
+  }
+  // Backward-shift deletion: pull every displaced entry of the probe chain
+  // forward so lookups never need tombstones.
+  uint32_t j = i;
+  while (true) {
+    j = (j + 1) & index_mask_;
+    if (index_[j] == 0) break;
+    uint32_t home = static_cast<uint32_t>(
+                        PageKeyHash{}(frames_[index_[j] - 1].page)) &
+                    index_mask_;
+    // Move entry j into the hole at i iff probing from its home bucket
+    // would have passed i (cyclic distance test).
+    if (((j - home) & index_mask_) >= ((j - i) & index_mask_)) {
+      index_[i] = index_[j];
+      i = j;
+    }
+  }
+  index_[i] = 0;
+}
+
+void BufferManager::Touch(int32_t slot) {
+  BufferFrame& f = frames_[slot];
   f.prev_access = f.last_access;
   f.last_access = sched_.Now();
+  policy_->OnAccess(slot);
 }
 
 void BufferManager::Admit(PageKey page) {
-  assert(frames_.find(page) == frames_.end());
-  lru_.push_front(page);
-  Frame f;
-  f.lru_pos = lru_.begin();
+  assert(Lookup(page) < 0);
+  assert(free_head_ >= 0 && "Admit with no free frame");
+  int32_t slot = free_head_;
+  BufferFrame& f = frames_[slot];
+  free_head_ = f.next;
+  f.page = page;
   f.last_access = sched_.Now();
-  frames_[page] = f;
+  f.prev_access = BufferFrame::kNever;
+  f.prev = -1;
+  f.next = -1;
+  f.dirty = false;
+  f.resident = true;
+  IndexInsert(page, slot);
+  ++resident_;
+  policy_->OnAdmit(slot);
+}
+
+void BufferManager::EvictOne() {
+  int32_t slot = policy_->PickVictim();
+  assert(slot >= 0 && frames_[slot].resident);
+  BufferFrame& f = frames_[slot];
+  if (f.dirty) {
+    ++dirty_writebacks_;
+    // No-force policy: dirty pages are written back asynchronously.
+    sched_.Spawn(disks_.WriteRandom(f.page));
+  }
+  policy_->OnEvict(slot);
+  IndexErase(f.page);
+  ++evictions_;
+  last_evicted_ = f.page;
+  f.last_access = BufferFrame::kNever;
+  f.prev_access = BufferFrame::kNever;
+  f.freq = 0;
+  f.referenced = false;
+  f.dirty = false;
+  f.resident = false;
+  f.prev = -1;
+  f.next = free_head_;
+  free_head_ = slot;
+  --resident_;
 }
 
 void BufferManager::ShrinkResidentTo(int limit) {
   if (limit < 0) limit = 0;
-  while (static_cast<int>(frames_.size()) > limit) {
-    PageKey victim = lru_.back();
-    auto it = frames_.find(victim);
-    assert(it != frames_.end());
-    if (it->second.dirty) {
-      ++dirty_writebacks_;
-      // No-force policy: dirty pages are written back asynchronously.
-      sched_.Spawn(disks_.WriteRandom(victim));
-    }
-    frames_.erase(it);
-    lru_.pop_back();
-  }
+  while (resident_ > limit) EvictOne();
 }
 
 sim::Task<bool> BufferManager::Fetch(PageKey page, AccessPattern pattern,
                                      bool priority_oltp) {
-  auto it = frames_.find(page);
-  if (it != frames_.end()) {
+  int32_t slot = Lookup(page);
+  if (slot >= 0) {
     ++hits_;
-    Touch(page);
+    Touch(slot);
     co_return true;
   }
   ++misses_;
@@ -65,8 +145,9 @@ sim::Task<bool> BufferManager::Fetch(PageKey page, AccessPattern pattern,
   co_await disks_.Read(page, pattern);
 
   // A concurrent fetch may have admitted the page while we were on disk.
-  if (frames_.find(page) != frames_.end()) {
-    Touch(page);
+  slot = Lookup(page);
+  if (slot >= 0) {
+    Touch(slot);
     co_return false;
   }
   int pool_limit = UnreservedFrames();
@@ -80,18 +161,59 @@ sim::Task<bool> BufferManager::Fetch(PageKey page, AccessPattern pattern,
   co_return false;
 }
 
+BufferManager::RangeRuns* BufferManager::AcquireRunScratch() {
+  if (run_scratch_.empty()) {
+    RangeRuns* runs = new RangeRuns();
+    // Missing runs are separated by resident pages, so no scan can produce
+    // more than capacity + 1 runs.  Reserving the bound makes the first
+    // lease this vector's only allocation ever — a later scan that happens
+    // to hit a new high-water run count must not touch the heap.
+    runs->reserve(static_cast<size_t>(config_.buffer_pages) + 1);
+    return runs;
+  }
+  RangeRuns* runs = run_scratch_.back();
+  run_scratch_.pop_back();
+  return runs;
+}
+
+void BufferManager::ReleaseRunScratch(RangeRuns* runs) {
+  runs->clear();
+  run_scratch_.push_back(runs);
+}
+
 sim::Task<int64_t> BufferManager::FetchRange(PageKey first, int64_t count) {
+  // The run list is a leased scratch vector recycled through the manager's
+  // pool (runs are separated by resident pages, so a list never outgrows
+  // capacity + 1 entries — the lease reaches its high-water mark once and
+  // steady-state scans stop allocating).  The lease destructor returns it
+  // when the frame dies, including cancellation mid-I/O; at full scheduler
+  // teardown the manager may already be gone, so the lease frees the vector
+  // instead of touching it.
+  struct Lease {
+    sim::Scheduler* sched;
+    BufferManager* mgr;
+    RangeRuns* runs;
+    ~Lease() {
+      if (sched->tearing_down()) {
+        delete runs;
+        return;
+      }
+      mgr->ReleaseRunScratch(runs);
+    }
+  } lease{&sched_, this, AcquireRunScratch()};
+  RangeRuns& runs = *lease.runs;  // (offset, length) missing runs
+
   int64_t hits = 0;
   // Identify the missing runs up front; each run is read with one striped
   // request across the disk array.
-  std::vector<std::pair<int64_t, int64_t>> runs;  // (offset, length)
   int64_t run_start = -1;
   for (int64_t i = 0; i < count; ++i) {
     PageKey p{first.relation_id, first.page_no + i};
-    if (frames_.find(p) != frames_.end()) {
+    int32_t slot = Lookup(p);
+    if (slot >= 0) {
       ++hits_;
       ++hits;
-      Touch(p);
+      Touch(slot);
       if (run_start >= 0) {
         runs.emplace_back(run_start, i - run_start);
         run_start = -1;
@@ -108,8 +230,9 @@ sim::Task<int64_t> BufferManager::FetchRange(PageKey first, int64_t count) {
         PageKey{first.relation_id, first.page_no + offset}, length);
     for (int64_t i = 0; i < length; ++i) {
       PageKey p{first.relation_id, first.page_no + offset + i};
-      if (frames_.find(p) != frames_.end()) {
-        Touch(p);  // admitted by a concurrent fetch meanwhile
+      int32_t slot = Lookup(p);
+      if (slot >= 0) {
+        Touch(slot);  // admitted by a concurrent fetch meanwhile
         continue;
       }
       int pool_limit = UnreservedFrames();
@@ -123,12 +246,12 @@ sim::Task<int64_t> BufferManager::FetchRange(PageKey first, int64_t count) {
 }
 
 void BufferManager::MarkDirty(PageKey page) {
-  auto it = frames_.find(page);
-  if (it != frames_.end()) it->second.dirty = true;
+  int32_t slot = Lookup(page);
+  if (slot >= 0) frames_[slot].dirty = true;
 }
 
 bool BufferManager::IsResident(PageKey page) const {
-  return frames_.find(page) != frames_.end();
+  return Lookup(page) >= 0;
 }
 
 int BufferManager::TryReserve(int want_pages) {
@@ -223,8 +346,23 @@ void BufferManager::OnCrash() {
   // Volatile buffer contents are lost.  No writebacks: dirty pages are
   // recovered from the log in a real system, and the simulated disk image
   // is not page-accurate — restarting cold is the observable effect.
-  frames_.clear();
-  lru_.clear();
+  const int32_t n = static_cast<int32_t>(frames_.size());
+  for (int32_t s = 0; s < n; ++s) {
+    BufferFrame& f = frames_[s];
+    f.page = PageKey{0, 0};
+    f.last_access = BufferFrame::kNever;
+    f.prev_access = BufferFrame::kNever;
+    f.prev = -1;
+    f.next = s + 1 < n ? s + 1 : -1;
+    f.freq = 0;
+    f.referenced = false;
+    f.dirty = false;
+    f.resident = false;
+  }
+  free_head_ = 0;
+  resident_ = 0;
+  std::fill(index_.begin(), index_.end(), 0);
+  policy_->Reset();
 }
 
 void BufferManager::RegisterVictim(MemoryVictim* victim) {
@@ -258,8 +396,8 @@ void BufferManager::StealFromVictims(int needed) {
 int BufferManager::TouchedPages() const {
   SimTime cutoff = sched_.Now() - config_.touched_window_ms;
   int count = 0;
-  for (const auto& [page, frame] : frames_) {
-    if (frame.last_access >= cutoff) ++count;
+  for (const BufferFrame& f : frames_) {
+    if (f.resident && f.last_access >= cutoff) ++count;
   }
   return count;
 }
@@ -267,8 +405,8 @@ int BufferManager::TouchedPages() const {
 int BufferManager::HotPages() const {
   SimTime cutoff = sched_.Now() - config_.working_set_window_ms;
   int count = 0;
-  for (const auto& [page, frame] : frames_) {
-    if (frame.prev_access >= cutoff) ++count;
+  for (const BufferFrame& f : frames_) {
+    if (f.resident && f.prev_access >= cutoff) ++count;
   }
   return count;
 }
@@ -291,6 +429,7 @@ void BufferManager::ResetStats() {
   misses_ = 0;
   pages_stolen_ = 0;
   dirty_writebacks_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace pdblb

@@ -1,7 +1,7 @@
 // Copyright 2026 the pdblb authors. MIT license.
 //
 // Per-PE main-memory database buffer (paper Section 4):
-//  * a global LRU buffer shared by all transactions/queries, managed no-force
+//  * a global buffer shared by all transactions/queries, managed no-force
 //    with asynchronous disk writes of dirty pages, and
 //  * private working spaces for query processing (hash-join hash tables),
 //    carved out of the same frame pool via reservations.
@@ -15,17 +15,28 @@
 //  * "available memory" reported to the control node is
 //    capacity - reservations - OLTP working set, where the working set is a
 //    sliding-window estimate of re-referenced resident pages.
+//
+// Residency lives in a fixed slot-indexed frame table: a flat array of
+// BufferFrame slots allocated once at construction, a LIFO free list
+// threaded through the slots, and an open-addressing page index (linear
+// probing, backward-shift deletion) sized at construction.  Hits, misses,
+// evictions and admissions therefore allocate nothing in steady state; the
+// replacement order is delegated to a pluggable EvictionPolicy
+// (LRU / LRU-K / LFU / CLOCK, selected by BufferConfig::eviction — see
+// docs/bufmgr.md).
 
 #ifndef PDBLB_BUFMGR_BUFFER_MANAGER_H_
 #define PDBLB_BUFMGR_BUFFER_MANAGER_H_
 
 #include <coroutine>
+#include <cstdint>
 #include <deque>
-#include <list>
+#include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "bufmgr/eviction_policy.h"
 #include "catalog/relation.h"
 #include "common/config.h"
 #include "iosim/disk.h"
@@ -51,8 +62,9 @@ class BufferManager {
  public:
   BufferManager(sim::Scheduler& sched, const BufferConfig& config,
                 DiskArray& disks, std::string name);
+  ~BufferManager();
 
-  // --- global LRU buffer --------------------------------------------------
+  // --- global page buffer --------------------------------------------------
 
   /// Brings `page` into the buffer (disk I/O on miss) for a read.
   /// Returns true on buffer hit.  `priority_oltp` marks accesses allowed to
@@ -134,36 +146,54 @@ class BufferManager {
   int64_t buffer_misses() const { return misses_; }
   int64_t pages_stolen() const { return pages_stolen_; }
   int64_t dirty_writebacks() const { return dirty_writebacks_; }
+  int64_t evictions() const { return evictions_; }
+  /// The page most recently evicted (valid once evictions() > 0); lets the
+  /// model-based policy tests check victim identity, not just counts.
+  PageKey last_evicted() const { return last_evicted_; }
+  EvictionPolicyKind eviction_policy() const { return config_.eviction; }
   void ResetStats();
 
  private:
-  struct Frame {
-    std::list<PageKey>::iterator lru_pos;
-    // "Never" must predate any window cutoff, including at time zero.
-    static constexpr SimTime kNever = -1e18;
-    SimTime last_access = kNever;
-    SimTime prev_access = kNever;  // second-to-last access (working-set test)
-    bool dirty = false;
-  };
+  // (offset, length) runs of missing pages in a FetchRange scan.  Leased
+  // from run_scratch_ per call and recycled, so steady-state scans never
+  // allocate.
+  using RangeRuns = std::vector<std::pair<int64_t, int64_t>>;
 
-  /// Evicts LRU pages until the resident set fits `limit`; dirty pages are
-  /// written back asynchronously.
-  void ShrinkResidentTo(int limit);
-  void Touch(PageKey page);
+  /// Slot holding `page`, or -1.
+  int32_t Lookup(PageKey page) const;
+  void IndexInsert(PageKey page, int32_t slot);
+  void IndexErase(PageKey page);
+
+  void Touch(int32_t slot);
   void Admit(PageKey page);
+  /// Evicts the policy's victim; dirty pages are written back
+  /// asynchronously (no-force).
+  void EvictOne();
+  /// Evicts until the resident set fits `limit`.
+  void ShrinkResidentTo(int limit);
   /// Steals frames from the registered victims (largest reservation first)
   /// until `needed` frames are unreserved or no victim can yield more.
   void StealFromVictims(int needed);
   /// Serves the FCFS memory queue as far as possible.
   void ServeMemoryQueue();
 
+  RangeRuns* AcquireRunScratch();
+  void ReleaseRunScratch(RangeRuns* runs);
+
   sim::Scheduler& sched_;
   BufferConfig config_;
   DiskArray& disks_;
   std::string name_;
 
-  std::list<PageKey> lru_;  // most recent at front
-  std::unordered_map<PageKey, Frame, PageKeyHash> frames_;
+  // Frame table: fixed slots + LIFO free list (threaded through
+  // BufferFrame::next) + open-addressing page index storing slot + 1
+  // (0 = empty).
+  std::vector<BufferFrame> frames_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::vector<int32_t> index_;
+  uint32_t index_mask_ = 0;
+  int32_t free_head_ = -1;
+  int resident_ = 0;
   int reserved_ = 0;
 
   struct MemWaiter {
@@ -176,10 +206,16 @@ class BufferManager {
 
   std::vector<MemoryVictim*> victims_;
 
+  // Recycled FetchRange scratch vectors (owned raw pointers; leased out to
+  // suspended scan frames, so ownership cannot live in the vector itself).
+  std::vector<RangeRuns*> run_scratch_;
+
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t pages_stolen_ = 0;
   int64_t dirty_writebacks_ = 0;
+  int64_t evictions_ = 0;
+  PageKey last_evicted_{0, 0};
 };
 
 }  // namespace pdblb

@@ -234,6 +234,36 @@ bool ParseScheduledClause(const std::string& clause, FaultEvent* ev) {
 
 }  // namespace
 
+const char* EvictionPolicyName(EvictionPolicyKind kind) {
+  switch (kind) {
+    case EvictionPolicyKind::kLru:
+      return "lru";
+    case EvictionPolicyKind::kLruK:
+      return "lru-k";
+    case EvictionPolicyKind::kLfu:
+      return "lfu";
+    case EvictionPolicyKind::kClock:
+      return "clock";
+  }
+  return "lru";
+}
+
+Status ParseEvictionPolicy(const std::string& name, EvictionPolicyKind* out) {
+  if (name == "lru") {
+    *out = EvictionPolicyKind::kLru;
+  } else if (name == "lru-k" || name == "lru2" || name == "lru-2") {
+    *out = EvictionPolicyKind::kLruK;
+  } else if (name == "lfu") {
+    *out = EvictionPolicyKind::kLfu;
+  } else if (name == "clock") {
+    *out = EvictionPolicyKind::kClock;
+  } else {
+    return Status::InvalidArgument(
+        "unknown eviction policy (want lru|lru-k|lfu|clock): " + name);
+  }
+  return Status::OK();
+}
+
 Status ParseFaultSpec(const std::string& spec, FaultConfig* out) {
   size_t pos = 0;
   while (pos <= spec.size()) {

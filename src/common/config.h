@@ -47,10 +47,24 @@ struct DiskConfig {
   double log_write_ms = 5.0;                ///< Sequential log append (OLTP).
 };
 
+/// Page-replacement policy of the per-PE buffer (see docs/bufmgr.md).
+enum class EvictionPolicyKind {
+  kLru,    ///< Least recently used (default; the paper's setting).
+  kLruK,   ///< LRU-2: oldest second-to-last access (scan-resistant).
+  kLfu,    ///< Least frequently used, with periodic counter aging.
+  kClock,  ///< Second-chance ring.
+};
+
+/// Stable lowercase name, as accepted by --eviction ("lru", "lru-k", ...).
+const char* EvictionPolicyName(EvictionPolicyKind kind);
+/// Parses an --eviction value ("lru", "lru-k", "lfu", "clock").
+Status ParseEvictionPolicy(const std::string& name, EvictionPolicyKind* out);
+
 /// Main-memory database buffer parameters.
 struct BufferConfig {
   int page_size_bytes = 8192;  ///< 8 KB pages.
   int buffer_pages = 50;       ///< 0.4 MB per PE (deliberately small, paper).
+  EvictionPolicyKind eviction = EvictionPolicyKind::kLru;
   /// Sliding window used to estimate the protected (hot, twice-referenced)
   /// working set that join reservations must not displace.
   double working_set_window_ms = 2000.0;

@@ -292,6 +292,15 @@ MetricsReport Cluster::Collect(SimTime measure_start,
   for (const auto& pe : pes_) {
     r.lock_waits += pe->locks().lock_waits();
     r.deadlock_aborts += pe->locks().deadlock_aborts();
+    r.buffer_hits += pe->buffer().buffer_hits();
+    r.buffer_misses += pe->buffer().buffer_misses();
+    r.buffer_evictions += pe->buffer().evictions();
+    r.buffer_writebacks += pe->buffer().dirty_writebacks();
+  }
+  if (r.buffer_hits + r.buffer_misses > 0) {
+    r.buffer_hit_ratio =
+        static_cast<double>(r.buffer_hits) /
+        static_cast<double>(r.buffer_hits + r.buffer_misses);
   }
 
   r.queries_timed_out = metrics_.queries_timed_out();

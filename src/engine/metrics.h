@@ -184,6 +184,16 @@ struct MetricsReport {
   int64_t lock_waits = 0;
   int64_t deadlock_aborts = 0;
 
+  // Buffer manager (aggregated over all PEs during measurement; the warm-up
+  // reset clears the per-PE counters, so these cover the window only).
+  // Hit ratio is hits / (hits + misses), 0 when no page was fetched — the
+  // eviction-policy ablation metric (bench/ablate_eviction.cc).
+  int64_t buffer_hits = 0;
+  int64_t buffer_misses = 0;
+  int64_t buffer_evictions = 0;
+  int64_t buffer_writebacks = 0;
+  double buffer_hit_ratio = 0.0;
+
   // Fault injection / query deadlines (engine/faults.h); all zero in
   // fault-free runs.  Query counters cover the measurement window; crash /
   // recovery counters cover the whole run.

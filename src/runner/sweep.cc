@@ -77,6 +77,11 @@ std::vector<SweepResult> Sweep::Run(const SweepOptions& options) const {
         if (options.query_timeout_ms >= 0.0) {
           cfg.faults.query_timeout_ms = options.query_timeout_ms;
         }
+        if (!options.eviction.empty()) {
+          Status st = ParseEvictionPolicy(options.eviction,
+                                          &cfg.buffer.eviction);
+          if (!st.ok()) throw std::runtime_error(st.ToString());
+        }
         Cluster cluster(cfg);
         SweepResult& slot = results[i];
         slot.grid_index = i;
@@ -141,6 +146,7 @@ std::string ResultsCsv(const std::vector<SweepResult>& results) {
       "scan_rt_ms,update_rt_ms,multiway_rt_ms,lock_waits,"
       "queries_timed_out,queries_retried,queries_failed,queries_degraded,"
       "pe_crashes,pe_recoveries,"
+      "buf_hit_ratio,buf_hits,buf_misses,buf_evictions,buf_writebacks,"
       "kernel_events,kernel_handoffs,seed\n";
   for (const SweepResult& res : results) {
     const MetricsReport& r = res.report;
@@ -150,7 +156,8 @@ std::string ResultsCsv(const std::vector<SweepResult>& results) {
       return std::snprintf(
           buf, cap,
           "\"%s\",%s,\"%s\",%.3f,%.3f,%.4f,%.4f,%.4f,%.2f,%.3f,%.3f,%.3f,"
-          "%.3f,%.3f,%.3f,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%llu,%llu,"
+          "%.3f,%.3f,%.3f,%lld,%lld,%lld,%lld,%lld,%lld,%lld,"
+          "%.4f,%lld,%lld,%lld,%lld,%llu,%llu,"
           "%llu\n",
           res.point.name.c_str(), res.point.x_label.c_str(),
           res.point.series.c_str(), r.join_rt_ms, r.avg_degree,
@@ -164,6 +171,10 @@ std::string ResultsCsv(const std::vector<SweepResult>& results) {
           static_cast<long long>(r.queries_degraded),
           static_cast<long long>(r.pe_crashes),
           static_cast<long long>(r.pe_recoveries),
+          r.buffer_hit_ratio, static_cast<long long>(r.buffer_hits),
+          static_cast<long long>(r.buffer_misses),
+          static_cast<long long>(r.buffer_evictions),
+          static_cast<long long>(r.buffer_writebacks),
           static_cast<unsigned long long>(r.kernel_events),
           static_cast<unsigned long long>(r.kernel_handoffs),
           static_cast<unsigned long long>(res.point.config.seed));

@@ -99,6 +99,11 @@ struct SweepOptions {
   /// the drivers' --query-timeout-ms flag (0 disables timeouts).
   double query_timeout_ms = -1.0;
 
+  /// When non-empty, parsed as an eviction-policy name (common/config.h
+  /// ParseEvictionPolicy: "lru", "lru-k", "lfu", "clock") and applied to
+  /// every point's config.buffer.eviction — the drivers' --eviction flag.
+  std::string eviction;
+
   /// When non-empty, event tracing is enabled for every point (overriding
   /// point.config.trace) and each point's retained trace is dumped to
   /// "<trace_path>.<declared_index>.csv" as it completes.  File names

@@ -12,6 +12,9 @@
 #include <cstdlib>
 #include <new>
 
+#include "bufmgr/buffer_manager.h"
+#include "common/config.h"
+#include "iosim/disk.h"
 #include "simkern/channel.h"
 #include "simkern/latch.h"
 #include "simkern/resource.h"
@@ -321,6 +324,91 @@ TEST(SchedulerAllocTest, CancellationAllocatesNothing) {
       << "cancelling " << (cancelled - cancelled_before)
       << " parked frames allocated "
       << (g_allocations - allocations_before) << " times";
+}
+
+// --- buffer pool -----------------------------------------------------------
+// The slot-indexed frame table extends the guarantee to the buffer manager:
+// hits touch only the open-addressing index and the policy's intrusive
+// links; misses, evictions and dirty writebacks recycle frames through the
+// fixed slot array and the coroutine arena; FetchRange leases its run
+// scratch from a recycled pool.  After warm-up, steady-state churn under
+// every eviction policy allocates exactly never.  (The old manager paid
+// std::list/unordered_map node churn on every miss, forever.)
+//
+// The disk controller cache is disabled: its own LRU cache is a std
+// container and allocates on insert, which would mask the property under
+// test (that cache has its own budget and is not steady-state-critical).
+
+Task<> BufferChurnLoop(Scheduler& sched, BufferManager& buf, int64_t rounds,
+                       uint64_t* fetches) {
+  uint64_t rng = 0x2545f4914f6cdd1dULL;
+  for (int64_t i = 0; i < rounds; ++i) {
+    // Four hot fetches (32-page working set, half the 64-page pool): hits
+    // in steady state.
+    for (int k = 0; k < 4; ++k) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      co_await buf.Fetch(PageKey{1, static_cast<int64_t>(rng % 32)},
+                         AccessPattern::kRandom);
+      ++*fetches;
+    }
+    // One cold fetch from a universe far larger than the pool: a miss that
+    // forces an eviction, every round.
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    PageKey cold{1, 100 + static_cast<int64_t>(rng % 4096)};
+    co_await buf.Fetch(cold, AccessPattern::kRandom);
+    ++*fetches;
+    // Dirty it so its eviction takes the async writeback path.
+    buf.MarkDirty(cold);
+    // A sequential scan with missing runs exercises the leased run scratch
+    // and striped prefetch.  28 pages = 7 prefetch batches: below the
+    // TaskGroup's inline member capacity, so the per-call group never grows.
+    if (i % 16 == 0) {
+      co_await buf.FetchRange(PageKey{2, (i % 8) * 28}, 28);
+      ++*fetches;
+    }
+  }
+}
+
+TEST(SchedulerAllocTest, BufferPoolChurnAllocatesNothing) {
+  const EvictionPolicyKind kinds[] = {
+      EvictionPolicyKind::kLru, EvictionPolicyKind::kLruK,
+      EvictionPolicyKind::kLfu, EvictionPolicyKind::kClock};
+  for (EvictionPolicyKind kind : kinds) {
+    SCOPED_TRACE(EvictionPolicyName(kind));
+    Scheduler sched;
+    sched.Reserve(/*events=*/256);
+    Resource cpu(sched, /*servers=*/1, "cpu");
+    CpuCosts costs;
+    DiskConfig disk_config;
+    disk_config.disk_cache_pages = 0;  // see section comment
+    BufferConfig buf_config;
+    buf_config.buffer_pages = 64;
+    buf_config.eviction = kind;
+    DiskArray disks(sched, disk_config, costs, 20.0, cpu, "t");
+    BufferManager buf(sched, buf_config, disks, "buf");
+
+    uint64_t fetches = 0;
+    sched.Spawn(BufferChurnLoop(sched, buf, /*rounds=*/1000000, &fetches));
+    // Warm-up: fill the pool, reach eviction steady state, grow the frame
+    // arena and the run-scratch pool to their high-water marks.
+    sched.RunUntil(20000.0);
+    ASSERT_GT(buf.evictions(), 100) << "shape does not actually evict";
+    ASSERT_GT(buf.buffer_hits(), 100u);
+
+    uint64_t allocations_before = g_allocations;
+    uint64_t fetches_before = fetches;
+    int64_t writebacks_before = buf.dirty_writebacks();
+    sched.RunUntil(200000.0);
+    EXPECT_GT(fetches - fetches_before, 5000u);
+    EXPECT_GT(buf.dirty_writebacks() - writebacks_before, 100);
+    EXPECT_EQ(g_allocations - allocations_before, 0u)
+        << "fetch hit/miss/evict/writeback churn allocated under "
+        << EvictionPolicyName(kind);
+  }
 }
 
 TEST(SchedulerAllocTest, AllocationCounterIsLive) {
