@@ -252,6 +252,47 @@ inline void PrintFigureTable(const Figure& fig,
   std::fputs(t.ToString().c_str(), stdout);
 }
 
+/// True when any point recorded fault activity (crashes, shed queries,
+/// disk errors, partitions, ...).  Gates the robustness table and JSON
+/// block so fault-free output stays byte-identical.
+inline bool AnyFaultActivity(const std::vector<runner::SweepResult>& results) {
+  for (const runner::SweepResult& res : results) {
+    const MetricsReport& r = res.report;
+    if (r.pe_crashes > 0 || r.queries_retried > 0 || r.queries_timed_out > 0 ||
+        r.queries_failed > 0 || r.queries_degraded > 0 || r.queries_shed > 0 ||
+        r.io_errors > 0 || r.link_partitions > 0 || r.slow_disk_ms > 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Prints the robustness table (stdout): per-point fault-domain activity and
+/// query outcomes.  Printed only when some point saw fault activity, so
+/// fault-free runs produce exactly the historical output.
+inline void PrintRobustnessTable(
+    const Figure& fig, const std::vector<runner::SweepResult>& results) {
+  if (!AnyFaultActivity(results)) return;
+  std::printf("\n=== robustness (%s) ===\n", fig.title().c_str());
+  TextTable t({fig.x_name(), "strategy", "done", "shed", "degr", "retry",
+               "t/o", "fail", "io err", "io rtry", "parts", "slow ms",
+               "crash"});
+  for (const runner::SweepResult& res : results) {
+    const MetricsReport& r = res.report;
+    t.AddRow({res.point.x_label, res.point.series,
+              std::to_string(r.joins_completed),
+              std::to_string(r.queries_shed),
+              std::to_string(r.queries_degraded),
+              std::to_string(r.queries_retried),
+              std::to_string(r.queries_timed_out),
+              std::to_string(r.queries_failed), std::to_string(r.io_errors),
+              std::to_string(r.io_retries), std::to_string(r.link_partitions),
+              TextTable::Num(r.slow_disk_ms, 0),
+              std::to_string(r.pe_crashes)});
+  }
+  std::fputs(t.ToString().c_str(), stdout);
+}
+
 /// Per-subsystem attribution summed over all points of a sweep (zeros when
 /// tracing was off or compiled out).
 struct TraceTotals {
@@ -342,6 +383,7 @@ inline int FigureMain(Figure& fig, const BenchOptions& opts) {
           .count();
 
   PrintFigureTable(fig, results);
+  PrintRobustnessTable(fig, results);
   TraceTotals trace_totals = SumTraceTotals(results);
   PrintTraceAttribution(trace_totals);
   std::printf("\n%zu points in %.1f s with --jobs=%d (%.1f points/min)\n",
@@ -385,6 +427,33 @@ inline int FigureMain(Figure& fig, const BenchOptions& opts) {
         first = false;
       }
       std::fprintf(f, "}");
+    }
+    if (AnyFaultActivity(results)) {
+      // Per-point query outcomes vs fault activity (seed-deterministic);
+      // omitted for fault-free sweeps so historical artifacts don't change.
+      std::fprintf(f, ", \"robustness\": [");
+      for (size_t i = 0; i < results.size(); ++i) {
+        const MetricsReport& r = results[i].report;
+        std::fprintf(
+            f,
+            "%s{\"point\": \"%s\", \"completed\": %lld, \"shed\": %lld, "
+            "\"degraded\": %lld, \"retried\": %lld, \"timed_out\": %lld, "
+            "\"failed\": %lld, \"io_errors\": %lld, \"io_retries\": %lld, "
+            "\"link_partitions\": %lld, \"slow_disk_ms\": %.3f, "
+            "\"pe_crashes\": %lld}",
+            i == 0 ? "" : ", ", results[i].point.name.c_str(),
+            static_cast<long long>(r.joins_completed),
+            static_cast<long long>(r.queries_shed),
+            static_cast<long long>(r.queries_degraded),
+            static_cast<long long>(r.queries_retried),
+            static_cast<long long>(r.queries_timed_out),
+            static_cast<long long>(r.queries_failed),
+            static_cast<long long>(r.io_errors),
+            static_cast<long long>(r.io_retries),
+            static_cast<long long>(r.link_partitions), r.slow_disk_ms,
+            static_cast<long long>(r.pe_crashes));
+      }
+      std::fprintf(f, "]");
     }
     std::fprintf(f, "}\n");
     std::fclose(f);

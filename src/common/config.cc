@@ -170,6 +170,23 @@ Status SystemConfig::Validate() const {
     if (ev.at_ms < 0.0) {
       return Status::InvalidArgument("faults.events: at_ms must be >= 0");
     }
+    const bool link_kind = ev.kind == FaultKind::kPartition ||
+                           ev.kind == FaultKind::kHeal ||
+                           ev.kind == FaultKind::kSlowLink;
+    if (link_kind) {
+      if (ev.pe2 < 0 || ev.pe2 >= num_pes) {
+        return Status::OutOfRange("faults.events: pe2 out of range");
+      }
+      if (ev.pe2 == ev.pe) {
+        return Status::InvalidArgument(
+            "faults.events: link endpoints must differ");
+      }
+    }
+    if ((ev.kind == FaultKind::kSlowDisk || ev.kind == FaultKind::kSlowLink) &&
+        ev.factor < 1.0) {
+      // >= 1 keeps slowed wire delays above the sharded-window lookahead.
+      return Status::InvalidArgument("faults.events: factor must be >= 1");
+    }
   }
   if (faults.crash_rate_per_pe_per_min < 0.0) {
     return Status::InvalidArgument(
@@ -200,6 +217,38 @@ Status SystemConfig::Validate() const {
   if (faults.retry.jitter_frac < 0.0 || faults.retry.jitter_frac > 1.0) {
     return Status::InvalidArgument("faults.retry.jitter_frac must be in [0,1]");
   }
+  if (faults.io_error_rate < 0.0 || faults.io_error_rate >= 1.0) {
+    return Status::InvalidArgument("faults.io_error_rate must be in [0, 1)");
+  }
+  if (faults.io_retry_limit < 0) {
+    return Status::InvalidArgument("faults.io_retry_limit must be >= 0");
+  }
+  if (faults.io_retry_penalty_ms < 0.0) {
+    return Status::InvalidArgument("faults.io_retry_penalty_ms must be >= 0");
+  }
+  if (overload.enabled) {
+    if (overload.degrade_cpu_threshold <= 0.0 ||
+        overload.exit_cpu_threshold > overload.degrade_cpu_threshold) {
+      return Status::InvalidArgument(
+          "overload cpu thresholds must satisfy 0 < exit <= degrade");
+    }
+    if (overload.degrade_queue_threshold < 0.0 ||
+        overload.exit_queue_threshold > overload.degrade_queue_threshold ||
+        overload.shed_queue_threshold < overload.degrade_queue_threshold) {
+      return Status::InvalidArgument(
+          "overload queue thresholds must satisfy "
+          "0 <= exit <= degrade <= shed");
+    }
+    if (overload.enter_rounds < 1 || overload.exit_rounds < 1) {
+      return Status::InvalidArgument(
+          "overload enter/exit rounds must be >= 1");
+    }
+    if (overload.parallelism_factor <= 0.0 ||
+        overload.parallelism_factor > 1.0) {
+      return Status::InvalidArgument(
+          "overload.parallelism_factor must be in (0, 1]");
+    }
+  }
   return Status::OK();
 }
 
@@ -207,29 +256,111 @@ Status SystemConfig::Validate() const {
 
 namespace {
 
-// Splits "crash@8000:pe3" into kind/time/pe; returns false on malformed
-// input (the caller reports the whole clause).
-bool ParseScheduledClause(const std::string& clause, FaultEvent* ev) {
+// Parses "pe<N>" into *pe; returns false on malformed input.
+bool ParsePeToken(const std::string& token, int* pe) {
+  if (token.rfind("pe", 0) != 0) return false;
+  try {
+    size_t used = 0;
+    *pe = std::stoi(token.substr(2), &used);
+    return used == token.size() - 2 && *pe >= 0;
+  } catch (...) {
+    return false;
+  }
+}
+
+// Splits a scheduled clause — "crash@8000:pe3", "slowdisk@8000:pe3:x4",
+// "partition@8000:pe1-pe2", "slowlink@8000:pe1-pe2:x3" — into `ev`.  The
+// shape after '@' is <ms>:<endpoint>[:x<M>]; link kinds take a pe<A>-pe<B>
+// endpoint pair, multiplier kinds require the trailing :x<M> factor.
+Status ParseScheduledClause(const std::string& clause, FaultEvent* ev) {
   size_t at = clause.find('@');
-  size_t colon = clause.find(':', at == std::string::npos ? 0 : at);
-  if (at == std::string::npos || colon == std::string::npos) return false;
+  if (at == std::string::npos) {
+    return Status::InvalidArgument("bad fault-spec clause (missing '@'): " +
+                                   clause);
+  }
   std::string kind = clause.substr(0, at);
+  bool wants_pair = false;
+  bool wants_factor = false;
   if (kind == "crash") {
     ev->kind = FaultKind::kCrash;
   } else if (kind == "recover") {
     ev->kind = FaultKind::kRecover;
+  } else if (kind == "slowdisk") {
+    ev->kind = FaultKind::kSlowDisk;
+    wants_factor = true;
+  } else if (kind == "partition") {
+    ev->kind = FaultKind::kPartition;
+    wants_pair = true;
+  } else if (kind == "heal") {
+    ev->kind = FaultKind::kHeal;
+    wants_pair = true;
+  } else if (kind == "slowlink") {
+    ev->kind = FaultKind::kSlowLink;
+    wants_pair = true;
+    wants_factor = true;
   } else {
-    return false;
+    return Status::InvalidArgument(
+        "unknown fault kind (want crash|recover|slowdisk|partition|heal|"
+        "slowlink): " +
+        clause);
+  }
+
+  std::vector<std::string> parts;  // <ms>, <endpoint>[, x<M>]
+  for (size_t pos = at + 1; pos <= clause.size();) {
+    size_t end = clause.find(':', pos);
+    if (end == std::string::npos) end = clause.size();
+    parts.push_back(clause.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  size_t expected = wants_factor ? 3 : 2;
+  if (parts.size() != expected) {
+    return Status::InvalidArgument(
+        "bad fault-spec clause (want " + kind + "@<ms>:" +
+        (wants_pair ? "pe<A>-pe<B>" : "pe<N>") +
+        (wants_factor ? ":x<M>" : "") + "): " + clause);
   }
   try {
-    ev->at_ms = std::stod(clause.substr(at + 1, colon - at - 1));
-    std::string pe = clause.substr(colon + 1);
-    if (pe.rfind("pe", 0) != 0) return false;
-    ev->pe = std::stoi(pe.substr(2));
+    ev->at_ms = std::stod(parts[0]);
   } catch (...) {
-    return false;
+    return Status::InvalidArgument("bad fault-spec time: " + clause);
   }
-  return true;
+
+  const std::string& endpoint = parts[1];
+  if (wants_pair) {
+    size_t dash = endpoint.find('-');
+    if (dash == std::string::npos ||
+        !ParsePeToken(endpoint.substr(0, dash), &ev->pe) ||
+        !ParsePeToken(endpoint.substr(dash + 1), &ev->pe2)) {
+      return Status::InvalidArgument(
+          "bad fault-spec endpoints (want pe<A>-pe<B>): " + clause);
+    }
+    if (ev->pe == ev->pe2) {
+      return Status::InvalidArgument(
+          "fault-spec endpoints must differ: " + clause);
+    }
+  } else if (!ParsePeToken(endpoint, &ev->pe)) {
+    return Status::InvalidArgument("bad fault-spec PE (want pe<N>): " +
+                                   clause);
+  }
+
+  if (wants_factor) {
+    const std::string& f = parts[2];
+    if (f.empty() || f[0] != 'x') {
+      return Status::InvalidArgument(
+          "bad fault-spec multiplier (want x<M>): " + clause);
+    }
+    try {
+      ev->factor = std::stod(f.substr(1));
+    } catch (...) {
+      return Status::InvalidArgument(
+          "bad fault-spec multiplier (want x<M>): " + clause);
+    }
+    if (ev->factor < 1.0) {
+      return Status::InvalidArgument(
+          "fault-spec multiplier must be >= 1 (x1 restores): " + clause);
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -287,6 +418,12 @@ Status ParseFaultSpec(const std::string& spec, FaultConfig* out) {
           out->timeout_fraction = std::stod(val);
         } else if (key == "retries") {
           out->retry.max_attempts = std::stoi(val);
+        } else if (key == "iorate") {
+          out->io_error_rate = std::stod(val);
+          if (out->io_error_rate < 0.0 || out->io_error_rate >= 1.0) {
+            return Status::InvalidArgument(
+                "iorate must be in [0, 1): " + clause);
+          }
         } else {
           return Status::InvalidArgument("unknown fault-spec key: " + key);
         }
@@ -296,9 +433,7 @@ Status ParseFaultSpec(const std::string& spec, FaultConfig* out) {
       continue;
     }
     FaultEvent ev;
-    if (!ParseScheduledClause(clause, &ev)) {
-      return Status::InvalidArgument("bad fault-spec clause: " + clause);
-    }
+    PDBLB_RETURN_IF_ERROR(ParseScheduledClause(clause, &ev));
     out->events.push_back(ev);
   }
   return Status::OK();

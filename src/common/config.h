@@ -278,16 +278,27 @@ struct OltpConfig {
 
 /// One scripted fault event.  Crash/recover pairs drive the PE failure
 /// model: a crashed PE aborts its resident work, releases buffer/lock
-/// resources and rejects new placements until it recovers.
+/// resources and rejects new placements until it recovers.  The gray-failure
+/// kinds degrade a PE or a link without killing it: slow disks multiply the
+/// disk service time, partitions make a PE pair mutually unreachable (heal
+/// reverses), and slow links stretch the wire delay of one directed pair.
 enum class FaultKind {
   kCrash,
   kRecover,
+  kSlowDisk,   ///< Multiply PE `pe`'s disk service times by `factor`.
+  kPartition,  ///< Cut the link between `pe` and `pe2` (symmetric).
+  kHeal,       ///< Restore the link between `pe` and `pe2`.
+  kSlowLink,   ///< Multiply the pe->pe2 wire delay by `factor` (both ways).
 };
 
 struct FaultEvent {
   double at_ms = 0.0;  ///< Simulation time (measured from run start).
   FaultKind kind = FaultKind::kCrash;
   int pe = 0;
+  int pe2 = -1;         ///< Second endpoint (partition/heal/slowlink only).
+  double factor = 1.0;  ///< Service/delay multiplier (slowdisk/slowlink);
+                        ///< >= 1 so sharded-window lookaheads stay valid.
+                        ///< 1.0 restores normal speed.
 };
 
 /// Retry policy for queries that fail with kUnavailable (a participant PE
@@ -320,8 +331,17 @@ struct FaultConfig {
   double query_timeout_ms = 0.0;
   double timeout_fraction = 1.0;
   RetryPolicy retry;
+  /// Transient disk errors: each physical disk access fails with this
+  /// probability (drawn from a dedicated per-PE RNG fork) and is retried at
+  /// the driver with a fixed penalty, up to `io_retry_limit` retries per
+  /// access; a chain that exhausts its retries surfaces the last error
+  /// without another reissue, so io_errors >= io_retries always holds.
+  double io_error_rate = 0.0;
+  int io_retry_limit = 3;
+  double io_retry_penalty_ms = 5.0;
 
-  /// True when PE failures are configured (scripted or by rate).
+  /// True when PE failures or gray faults are configured (scripted or by
+  /// rate): the fault processes are spawned and queries run supervised.
   bool FailuresEnabled() const {
     return !events.empty() || crash_rate_per_pe_per_min > 0.0;
   }
@@ -329,6 +349,9 @@ struct FaultConfig {
   bool TimeoutsEnabled() const {
     return query_timeout_ms > 0.0 && timeout_fraction > 0.0;
   }
+  /// True when transient disk errors are configured.  Pure latency faults:
+  /// no supervision needed, the driver absorbs the retries.
+  bool DiskFaultsEnabled() const { return io_error_rate > 0.0; }
   /// True when queries need supervision (retry/timeout/abort handling).
   bool Enabled() const { return FailuresEnabled() || TimeoutsEnabled(); }
 };
@@ -338,14 +361,52 @@ struct FaultConfig {
 ///
 ///   crash@<ms>:pe<N>      schedule a crash of PE N at time <ms>
 ///   recover@<ms>:pe<N>    schedule a recovery of PE N at time <ms>
+///   slowdisk@<ms>:pe<N>:x<M>        multiply PE N's disk service by M (>= 1;
+///                                   x1 restores normal speed)
+///   partition@<ms>:pe<A>-pe<B>      cut the A<->B link at time <ms>
+///   heal@<ms>:pe<A>-pe<B>           restore the A<->B link
+///   slowlink@<ms>:pe<A>-pe<B>:x<M>  multiply the A<->B wire delay by M
 ///   rate=<r>              random crashes per PE per minute
 ///   mttr=<ms>             mean time to repair for random crashes
 ///   timeout=<ms>          per-query deadline
 ///   timeout_frac=<f>      fraction of queries carrying the deadline
 ///   retries=<n>           RetryPolicy::max_attempts
+///   iorate=<r>            transient disk error probability per access
 ///
 /// Example: "crash@8000:pe3;recover@12000:pe3;timeout=5000".
+/// Unknown terms and out-of-range values are rejected eagerly with a
+/// descriptive error (PE indices are range-checked later, in Validate()).
 Status ParseFaultSpec(const std::string& spec, FaultConfig* out);
+
+/// Overload-adaptive graceful degradation.  The control node classifies the
+/// system per load-report round (control_report_interval_ms) from the avg
+/// alive-PE CPU utilization and the avg admission queue depth:
+///
+///   normal --(pressure >= degrade thresholds for enter_rounds)--> degraded
+///   degraded --(queue >= shed threshold for enter_rounds)-------> shedding
+///   shedding --(queue < exit threshold for exit_rounds)---------> degraded
+///   degraded --(pressure < exit thresholds for exit_rounds)-----> normal
+///
+/// While degraded, join plans are capped at ceil(alive * parallelism_factor)
+/// PEs and counted via queries_degraded; while shedding, new complex queries
+/// are additionally rejected at admission with kResourceExhausted and
+/// counted via queries_shed.  Exit thresholds sit below the enter thresholds
+/// (hysteresis), so the state cannot flap on a single borderline round.
+struct OverloadConfig {
+  bool enabled = false;
+  /// Enter degraded when cpu >= this OR queue >= degrade_queue_threshold.
+  double degrade_cpu_threshold = 0.90;
+  double degrade_queue_threshold = 4.0;
+  /// Escalate degraded -> shedding when queue >= this.
+  double shed_queue_threshold = 16.0;
+  /// De-escalate when cpu < exit_cpu AND queue < exit_queue.
+  double exit_cpu_threshold = 0.75;
+  double exit_queue_threshold = 2.0;
+  int enter_rounds = 2;  ///< Consecutive hot rounds before escalating.
+  int exit_rounds = 3;   ///< Consecutive cool rounds before de-escalating.
+  /// Degree cap while degraded/shedding: ceil(alive * this), at least 1.
+  double parallelism_factor = 0.5;
+};
 
 /// Top-level configuration; defaults reproduce the paper's base setting.
 struct SystemConfig {
@@ -411,6 +472,10 @@ struct SystemConfig {
   /// Fault injection and per-query deadlines (engine/faults.h).  Disabled
   /// by default; see FaultConfig.
   FaultConfig faults;
+  /// Overload-adaptive degradation thresholds (core/control_node.h).
+  /// Disabled by default: ShouldShed() is then constant-false and the
+  /// degree cap is a no-op, so plans and event streams are untouched.
+  OverloadConfig overload;
   double warmup_ms = 5000.0;        ///< Statistics reset after warm-up.
   double measurement_ms = 60000.0;  ///< Measured simulation horizon.
   /// Single-user mode: join queries run back to back with nothing else in

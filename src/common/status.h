@@ -26,6 +26,7 @@ enum class StatusCode {
   kIoError,
   kDeadlineExceeded,
   kUnavailable,
+  kResourceExhausted,
 };
 
 /// Result of an operation: either OK or an error code plus message.
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

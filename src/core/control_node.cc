@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace pdblb {
 
@@ -36,6 +37,63 @@ void ControlNode::Report(PeId pe, double cpu_util, int free_memory_pages,
   info_[pe].cpu_util = std::clamp(cpu_util, 0.0, 1.0);
   info_[pe].free_memory_pages = std::max(0, free_memory_pages);
   info_[pe].disk_util = std::clamp(disk_util, 0.0, 1.0);
+}
+
+void ControlNode::NoteLoadRound(double avg_admission_queue) {
+  if (!overload_.enabled) return;
+  const double cpu = AvgCpuUtilization();
+  const double queue = avg_admission_queue;
+  const bool hot = cpu >= overload_.degrade_cpu_threshold ||
+                   queue >= overload_.degrade_queue_threshold;
+  const bool shed_hot = queue >= overload_.shed_queue_threshold;
+  const bool cool = cpu < overload_.exit_cpu_threshold &&
+                    queue < overload_.exit_queue_threshold;
+  // Escalation and de-escalation both require `enter_rounds` /
+  // `exit_rounds` *consecutive* qualifying rounds; any non-qualifying round
+  // resets the respective streak (hysteresis on top of the gap between
+  // enter and exit thresholds).
+  hot_rounds_ = hot ? hot_rounds_ + 1 : 0;
+  shed_hot_rounds_ = shed_hot ? shed_hot_rounds_ + 1 : 0;
+  switch (overload_state_) {
+    case OverloadState::kNormal:
+      cool_rounds_ = 0;
+      if (hot_rounds_ >= overload_.enter_rounds) {
+        overload_state_ = OverloadState::kDegraded;
+        hot_rounds_ = 0;
+      }
+      break;
+    case OverloadState::kDegraded:
+      if (shed_hot_rounds_ >= overload_.enter_rounds) {
+        overload_state_ = OverloadState::kShedding;
+        shed_hot_rounds_ = 0;
+        cool_rounds_ = 0;
+        break;
+      }
+      cool_rounds_ = cool ? cool_rounds_ + 1 : 0;
+      if (cool_rounds_ >= overload_.exit_rounds) {
+        overload_state_ = OverloadState::kNormal;
+        cool_rounds_ = 0;
+      }
+      break;
+    case OverloadState::kShedding:
+      // Leaving shedding only needs the *queue* to drain below the exit
+      // threshold: shedding exists to work off the admission backlog, and
+      // the CPU legitimately stays busy while it drains.
+      cool_rounds_ =
+          queue < overload_.exit_queue_threshold ? cool_rounds_ + 1 : 0;
+      if (cool_rounds_ >= overload_.exit_rounds) {
+        overload_state_ = OverloadState::kDegraded;
+        cool_rounds_ = 0;
+      }
+      break;
+  }
+}
+
+int ControlNode::DegreeCap(int wanted) const {
+  if (overload_state_ == OverloadState::kNormal) return wanted;
+  int cap = static_cast<int>(std::ceil(static_cast<double>(AliveCount()) *
+                                       overload_.parallelism_factor));
+  return std::clamp(cap, 1, wanted);
 }
 
 double ControlNode::AvgCpuUtilization() const {

@@ -16,9 +16,18 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/config.h"
 #include "common/units.h"
 
 namespace pdblb {
+
+/// Overload response level (see OverloadConfig in common/config.h for the
+/// transition rules).  Ordered by severity.
+enum class OverloadState {
+  kNormal,    ///< Full plans, open admission.
+  kDegraded,  ///< Join parallelism capped (plans marked degraded).
+  kShedding,  ///< Additionally reject new complex queries at admission.
+};
 
 /// One PE's load as known to the control node.
 struct PeLoadInfo {
@@ -54,6 +63,27 @@ class ControlNode {
   bool IsAlive(PeId pe) const { return alive_[static_cast<size_t>(pe)]; }
   bool AnyDown() const { return down_count_ > 0; }
   int AliveCount() const { return num_pes() - down_count_; }
+
+  // --- overload-adaptive degradation (OverloadConfig) ---------------------
+  //
+  // Fed once per control-report round by the cluster; pure bookkeeping (no
+  // events, no RNG draws), and with the default-disabled config every query
+  // below returns its fault-free constant, so plans are untouched.
+
+  /// Installs the thresholds (done once, at cluster construction).
+  void ConfigureOverload(const OverloadConfig& config) { overload_ = config; }
+  /// One report round: classifies the system from the current avg alive-PE
+  /// CPU utilization and the round's avg admission queue depth, and steps
+  /// the normal/degraded/shedding state machine (with hysteresis).
+  void NoteLoadRound(double avg_admission_queue);
+  OverloadState overload_state() const { return overload_state_; }
+  /// True while new complex queries should be rejected at admission.
+  bool ShouldShed() const {
+    return overload_state_ == OverloadState::kShedding;
+  }
+  /// Join-degree cap under the current state: `wanted` when normal,
+  /// otherwise ceil(alive * parallelism_factor) clamped to [1, wanted].
+  int DegreeCap(int wanted) const;
 
   /// Average reported CPU utilization over all PEs (u_cpu in formula 3.2).
   double AvgCpuUtilization() const;
@@ -93,6 +123,13 @@ class ControlNode {
   int down_count_ = 0;
   bool adaptive_feedback_;
   double cpu_bump_factor_;
+
+  // Overload state machine (disabled unless overload_.enabled).
+  OverloadConfig overload_;
+  OverloadState overload_state_ = OverloadState::kNormal;
+  int hot_rounds_ = 0;       ///< Consecutive rounds at/above enter pressure.
+  int shed_hot_rounds_ = 0;  ///< Consecutive rounds at/above shed pressure.
+  int cool_rounds_ = 0;      ///< Consecutive rounds below exit pressure.
 };
 
 }  // namespace pdblb

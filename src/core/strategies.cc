@@ -100,6 +100,18 @@ int DynamicCpuDegree(int psu_opt, double u, int num_pes) {
   return std::clamp(p, 1, num_pes);
 }
 
+// Overload degree cap, applied by every strategy after it settled on a
+// degree and before placement: a capped plan is marked degraded.  Identity
+// while the control node is in the normal state (always, fault-free).
+int ApplyOverloadCap(const ControlNode& control, int k, JoinPlan* plan) {
+  int cap = control.DegreeCap(k);
+  if (cap < k) {
+    k = cap;
+    plan->degraded = true;
+  }
+  return k;
+}
+
 }  // namespace
 
 namespace internal {
@@ -156,6 +168,7 @@ class IsolatedPolicy : public LoadBalancingPolicy {
     p = std::clamp(p, 1, std::min(req.num_pes, control.AliveCount()));
 
     JoinPlan plan;
+    p = ApplyOverloadCap(control, p, &plan);
     plan.degree = p;
     switch (config_.selection) {
       case SelectionPolicyKind::kRandom:
@@ -207,6 +220,7 @@ class MinIoPolicy : public LoadBalancingPolicy {
                             /*prefer_larger=*/false);
     }
     JoinPlan plan;
+    k = ApplyOverloadCap(control, k, &plan);
     plan.degree = k;
     plan.pes = TopK(avail, k);
     plan.pages_per_pe = PagesPerPe(req.hash_table_pages, k);
@@ -242,6 +256,7 @@ class MinIoSuOptPolicy : public LoadBalancingPolicy {
                             /*prefer_larger=*/true);
     }
     JoinPlan plan;
+    k = ApplyOverloadCap(control, k, &plan);
     plan.degree = k;
     plan.pes = TopK(avail, k);
     plan.pages_per_pe = PagesPerPe(req.hash_table_pages, k);
@@ -266,6 +281,7 @@ class OptIoCpuPolicy : public LoadBalancingPolicy {
                                     /*prefer_larger=*/true)
                 : candidates.back();
     JoinPlan plan;
+    k = ApplyOverloadCap(control, k, &plan);
     plan.degree = k;
     plan.pes = TopK(avail, k);
     plan.pages_per_pe = PagesPerPe(req.hash_table_pages, k);

@@ -45,6 +45,10 @@ struct JoinPlan {
   /// Working-space pages each selected PE should reserve (the per-PE share
   /// of the hash table, capped by what the planner believed was free).
   int pages_per_pe = 0;
+  /// True when the overload degree cap (ControlNode::DegreeCap) bound this
+  /// plan below what the strategy wanted; such queries are counted as
+  /// queries_degraded on completion.
+  bool degraded = false;
 };
 
 /// Interface of all nine strategies.

@@ -59,6 +59,7 @@ Cluster::Cluster(const SystemConfig& config)
                                    config_.mips_per_pe, std::move(pe_cpus));
   control_ = std::make_unique<ControlNode>(config_.num_pes,
                                            config_.adaptive_selection_feedback);
+  control_->ConfigureOverload(config_.overload);
   cost_model_ = std::make_unique<CostModel>(config_);
   policy_ = LoadBalancingPolicy::Create(config_.strategy);
 
@@ -67,6 +68,21 @@ Cluster::Cluster(const SystemConfig& config)
   deadlock_detector_ =
       std::make_unique<DeadlockDetector>(sched_, std::move(lock_managers));
   faults_ = std::make_unique<FaultInjector>(*this);
+
+  // Transient disk errors: arm every PE's disk array with its own fork of
+  // the dedicated disk-fault stream (root.Fork(4), then per PE).  Stream 3
+  // is the PE crash timing; a new family keeps crash-only and disk-only
+  // configurations from perturbing each other's draws.  Never armed
+  // fault-free: the disk hot path then makes zero draws and extra awaits.
+  if (config_.faults.DiskFaultsEnabled()) {
+    sim::Rng disk_fault_root = sim::Rng(config_.seed).Fork(4);
+    for (PeId id = 0; id < config_.num_pes; ++id) {
+      pes_[id]->disks().ConfigureFaults(
+          config_.faults.io_error_rate, config_.faults.io_retry_limit,
+          config_.faults.io_retry_penalty_ms,
+          disk_fault_root.Fork(static_cast<uint64_t>(id)));
+    }
+  }
 
   plan_request_.hash_table_pages = cost_model_->HashTablePages();
   plan_request_.psu_opt = cost_model_->PsuOpt();
@@ -113,6 +129,20 @@ void Cluster::ReportAllPes(SimTime window_ms) {
     // The working-set estimate decays with time and does not generate
     // events; give queued joins a chance to proceed.
     pe->buffer().PumpMemoryQueue();
+  }
+  if (config_.overload.enabled) {
+    // Feed the overload state machine once per round with the avg admission
+    // queue depth over alive PEs (CPU pressure is read from the reports
+    // above).  Pure bookkeeping: no events, no RNG draws.
+    double queue = 0.0;
+    int alive = 0;
+    for (auto& pe : pes_) {
+      if (pe->failed()) continue;
+      queue += static_cast<double>(pe->admission().queue_length());
+      ++alive;
+    }
+    control_->NoteLoadRound(alive == 0 ? 0.0
+                                       : queue / static_cast<double>(alive));
   }
 }
 
@@ -309,6 +339,13 @@ MetricsReport Cluster::Collect(SimTime measure_start,
   r.queries_degraded = metrics_.queries_degraded();
   r.pe_crashes = metrics_.pe_crashes();
   r.pe_recoveries = metrics_.pe_recoveries();
+  r.queries_shed = metrics_.queries_shed();
+  r.link_partitions = metrics_.link_partitions();
+  for (const auto& pe : pes_) {
+    r.io_errors += pe->disks().io_errors();
+    r.io_retries += pe->disks().io_retries();
+    r.slow_disk_ms += pe->disks().slow_disk_extra_ms();
+  }
   return r;
 }
 

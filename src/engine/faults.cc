@@ -13,7 +13,9 @@ namespace pdblb {
 // ---------------------------------------------------------------- attempts
 
 bool QueryAttempt::AddParticipant(PeId pe) {
-  if (injector != nullptr && injector->PeFailed(pe)) {
+  if (injector != nullptr &&
+      (injector->PeFailed(pe) ||
+       injector->LinkBlocked(pe, participants))) {
     outcome = StatusCode::kUnavailable;
     return false;
   }
@@ -106,6 +108,15 @@ bool FaultInjector::Enabled() const { return cluster_.config().faults.Enabled();
 
 bool FaultInjector::PeFailed(PeId pe) const { return cluster_.pe(pe).failed(); }
 
+bool FaultInjector::LinkBlocked(PeId pe,
+                                const std::vector<PeId>& others) const {
+  if (!cluster_.net().AnyPartitions()) return false;
+  for (PeId other : others) {
+    if (other != pe && cluster_.net().Partitioned(pe, other)) return true;
+  }
+  return false;
+}
+
 sim::Scheduler& FaultInjector::sched() { return cluster_.sched(); }
 
 void FaultInjector::Unregister(QueryAttempt* attempt) {
@@ -130,10 +141,30 @@ void FaultInjector::SpawnFaultProcesses() {
 
 sim::Task<> FaultInjector::ApplyAt(FaultEvent event) {
   co_await cluster_.sched().Delay(event.at_ms);
-  if (event.kind == FaultKind::kCrash) {
-    ApplyCrash(event.pe);
-  } else {
-    ApplyRecovery(event.pe);
+  // Events scheduled for the same timestamp apply in spec order: they are
+  // spawned in spec order and the calendar dispatches equal-time events
+  // FIFO, so e.g. "crash@t:pe1;recover@t:pe1" crashes then recovers while
+  // the reversed spec leaves the PE down (pinned in tests/fault_test.cc).
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      ApplyCrash(event.pe);
+      break;
+    case FaultKind::kRecover:
+      ApplyRecovery(event.pe);
+      break;
+    case FaultKind::kSlowDisk:
+      cluster_.pe(event.pe).disks().SetServiceMultiplier(event.factor);
+      break;
+    case FaultKind::kPartition:
+      ApplyPartition(event.pe, event.pe2);
+      break;
+    case FaultKind::kHeal:
+      ApplyHeal(event.pe, event.pe2);
+      break;
+    case FaultKind::kSlowLink:
+      cluster_.net().SetLinkDelayMultiplier(event.pe, event.pe2,
+                                            event.factor);
+      break;
   }
 }
 
@@ -185,6 +216,31 @@ void FaultInjector::ApplyCrash(PeId pe) {
   elem.buffer().OnCrash();
 }
 
+void FaultInjector::ApplyPartition(PeId a, PeId b) {
+  if (cluster_.net().Partitioned(a, b)) return;
+  cluster_.net().SetPartitioned(a, b, true);
+  cluster_.metrics().RecordLinkPartition();
+
+  // Resident attempts already spanning the cut link lose their coordination
+  // path mid-query: cancel them like a crash does (kUnavailable into the
+  // retry path), unwinding their resources through the cancellation-aware
+  // guards.  Attempts touching at most one endpoint keep running, and new
+  // attempts fail fast at AddParticipant while the partition holds.
+  std::vector<QueryAttempt*> victims;
+  for (QueryAttempt* qa : active_) {
+    if (qa->Touches(a) && qa->Touches(b)) victims.push_back(qa);
+  }
+  for (QueryAttempt* qa : victims) {
+    qa->outcome = StatusCode::kUnavailable;
+    cluster_.sched().Cancel(qa->work_id);
+    if (!qa->done->Done()) qa->done->CountDown();
+  }
+}
+
+void FaultInjector::ApplyHeal(PeId a, PeId b) {
+  cluster_.net().SetPartitioned(a, b, false);
+}
+
 void FaultInjector::ApplyRecovery(PeId pe) {
   ProcessingElement& elem = cluster_.pe(pe);
   if (!elem.failed()) return;
@@ -210,6 +266,7 @@ sim::Task<> FaultInjector::Supervise(AttemptFactory make) {
                            faults.timeout_fraction);
   const SimTime t0 = sched.Now();
   bool retried = false;
+  bool plan_degraded = false;
 
   for (int attempt = 1;; ++attempt) {
     SimTime remaining_ms = 0.0;
@@ -250,14 +307,25 @@ sim::Task<> FaultInjector::Supervise(AttemptFactory make) {
       }
       co_await done.Wait();
       outcome = qa.outcome;
+      // The final attempt's plan decides whether the query counts as
+      // degraded (an earlier capped-but-cancelled attempt already counts
+      // through `retried`).
+      plan_degraded = qa.degraded_plan;
     }
 
     switch (outcome) {
       case StatusCode::kOk:
-        if (retried) cluster_.metrics().RecordQueryDegraded(sched.Now());
+        if (retried || plan_degraded) {
+          cluster_.metrics().RecordQueryDegraded(sched.Now());
+        }
         co_return;
       case StatusCode::kDeadlineExceeded:
         cluster_.metrics().RecordQueryTimedOut(sched.Now());
+        co_return;
+      case StatusCode::kResourceExhausted:
+        // Shed at admission by the overload controller; counted at the
+        // shed site (queries_shed) and deliberately never retried — the
+        // whole point is to take pressure off the admission queues.
         co_return;
       default: {  // kUnavailable: the attempt hit a failed PE.
         if (attempt >= retry.max_attempts) {

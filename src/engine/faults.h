@@ -13,6 +13,16 @@
 // chain that exceeds the query's deadline is cancelled with
 // kDeadlineExceeded.
 //
+// Beyond whole-PE crashes, the injector drives the gray-failure domains:
+// scripted slow-disk windows and transient I/O errors live in
+// iosim/disk.{h,cc} (latency-only, absorbed by the driver), link delay
+// multipliers live in netsim/network.{h,cc}, and scripted partitions are
+// enforced here — applying a partition cancels resident attempts spanning
+// the cut link and AddParticipant fails fast when a new PE is partitioned
+// from any PE the attempt already uses, both feeding the kUnavailable
+// retry path exactly like a crash.  All of it flows through the same
+// calendar and RNG-fork discipline, so --jobs/--shards stay bit-identical.
+//
 // Determinism: all fault timing draws come from a dedicated RNG stream
 // (root.Fork(3), further forked per PE), deadline assignment and backoff
 // jitter come from the workload stream in arrival order, and crashes /
@@ -54,10 +64,15 @@ struct QueryAttempt {
   uint64_t work_id = 0;
   StatusCode outcome = StatusCode::kOk;
   std::vector<PeId> participants;
+  /// Set by the executor when the attempt ran on an overload-capped plan
+  /// (JoinPlan::degraded); the supervisor counts it on completion.
+  bool degraded_plan = false;
 
   /// Records that the attempt is about to use `pe`.  Returns false (and
-  /// marks the attempt kUnavailable) if the PE is down — the executor must
-  /// co_return immediately; its RAII guards release whatever it holds.
+  /// marks the attempt kUnavailable) if the PE is down, or if the network
+  /// path between `pe` and any already-registered participant is
+  /// partitioned — the executor must co_return immediately; its RAII
+  /// guards release whatever it holds.
   bool AddParticipant(PeId pe);
   bool AddParticipants(const std::vector<PeId>& pes);
   bool Touches(PeId pe) const;
@@ -129,6 +144,10 @@ class FaultInjector {
   /// True when `pe` is currently down (executors fail fast against it).
   bool PeFailed(PeId pe) const;
 
+  /// True when the link between `pe` and any PE in `others` is partitioned
+  /// (cheap constant-false while no partition was ever applied).
+  bool LinkBlocked(PeId pe, const std::vector<PeId>& others) const;
+
   // Attempt registry (RunAttempt's registration RAII).
   void Register(QueryAttempt* attempt) { active_.push_back(attempt); }
   void Unregister(QueryAttempt* attempt);
@@ -140,6 +159,8 @@ class FaultInjector {
   sim::Task<> RandomFaultLoop(PeId pe);
   void ApplyCrash(PeId pe);
   void ApplyRecovery(PeId pe);
+  void ApplyPartition(PeId a, PeId b);
+  void ApplyHeal(PeId a, PeId b);
 
   Cluster& cluster_;
   std::vector<QueryAttempt*> active_;

@@ -63,6 +63,14 @@ sim::Task<> ExecuteJoinQuery(Cluster& c, QueryAttempt* qa) {
   const PeId coord =
       static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1));
   if (qa != nullptr && !qa->AddParticipant(coord)) co_return;
+  if (c.control().ShouldShed()) {
+    // Overload shedding: reject before queueing for an admission slot, so a
+    // shed query holds nothing and costs nothing.  kResourceExhausted is
+    // final — the supervisor does not retry it.
+    c.metrics().RecordQueryShed(sched.Now());
+    if (qa != nullptr) qa->outcome = StatusCode::kResourceExhausted;
+    co_return;
+  }
   co_await c.pe(coord).admission().Acquire();
   AdmissionGuard admission(sched, c.pe(coord).admission());
   co_await UseCpu(c, coord, costs.initiate_txn);
@@ -271,6 +279,15 @@ sim::Task<> ExecuteJoinQuery(Cluster& c, QueryAttempt* qa) {
   }
   c.metrics().RecordJoin(sched.Now() - t0, p, temp_written, temp_read,
                          sched.Now());
+  if (plan.degraded) {
+    // Supervised queries defer the degraded count to the supervisor (which
+    // also folds in retry-degradation); unsupervised ones count here.
+    if (qa != nullptr) {
+      qa->degraded_plan = true;
+    } else {
+      c.metrics().RecordQueryDegraded(sched.Now());
+    }
+  }
 }
 
 }  // namespace pdblb

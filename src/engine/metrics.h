@@ -84,16 +84,25 @@ class MetricsCollector {
     if (!Measuring(now)) return;
     ++queries_failed_;
   }
-  /// A query completed, but only after at least one retry.
+  /// A query completed degraded: after at least one retry, or on a
+  /// reduced-parallelism plan issued under overload.
   void RecordQueryDegraded(SimTime now) {
     if (!Measuring(now)) return;
     ++queries_degraded_;
+  }
+  /// A query was rejected at admission while the control node was shedding
+  /// load (kResourceExhausted, never retried).
+  void RecordQueryShed(SimTime now) {
+    if (!Measuring(now)) return;
+    ++queries_shed_;
   }
   /// PE crash / recovery events are counted over the whole run (they are
   /// scripted or rate-driven, not workload outcomes, so warm-up applies
   /// no differently).
   void RecordPeCrash() { ++pe_crashes_; }
   void RecordPeRecovery() { ++pe_recoveries_; }
+  /// A scripted network partition was applied (whole run, like crashes).
+  void RecordLinkPartition() { ++link_partitions_; }
 
   const sim::SampleStat& join_rt() const { return join_rt_; }
   const sim::SampleStat& oltp_rt() const { return oltp_rt_; }
@@ -116,8 +125,10 @@ class MetricsCollector {
   int64_t queries_retried() const { return queries_retried_; }
   int64_t queries_failed() const { return queries_failed_; }
   int64_t queries_degraded() const { return queries_degraded_; }
+  int64_t queries_shed() const { return queries_shed_; }
   int64_t pe_crashes() const { return pe_crashes_; }
   int64_t pe_recoveries() const { return pe_recoveries_; }
+  int64_t link_partitions() const { return link_partitions_; }
 
  private:
   SimTime warmup_end_ = 0.0;
@@ -140,8 +151,10 @@ class MetricsCollector {
   int64_t queries_retried_ = 0;
   int64_t queries_failed_ = 0;
   int64_t queries_degraded_ = 0;
+  int64_t queries_shed_ = 0;
   int64_t pe_crashes_ = 0;
   int64_t pe_recoveries_ = 0;
+  int64_t link_partitions_ = 0;
 };
 
 /// Flat result record of one simulation run (what benches print).
@@ -203,6 +216,17 @@ struct MetricsReport {
   int64_t queries_degraded = 0;
   int64_t pe_crashes = 0;
   int64_t pe_recoveries = 0;
+
+  // Gray-failure fault domains (disk / network / overload); all zero in
+  // fault-free runs.  io_* and slow_disk_ms aggregate the per-PE disk
+  // counters over the measurement window (the warm-up reset clears them);
+  // queries_shed covers the measurement window; link_partitions counts
+  // scripted partition events over the whole run.
+  int64_t queries_shed = 0;
+  int64_t io_errors = 0;
+  int64_t io_retries = 0;
+  int64_t link_partitions = 0;
+  double slow_disk_ms = 0.0;
 
   double measurement_seconds = 0.0;
 

@@ -62,9 +62,17 @@ sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c, QueryAttempt* qa) {
   const PeId coord =
       static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1));
   if (qa != nullptr && !qa->AddParticipant(coord)) co_return;
+  if (c.control().ShouldShed()) {
+    // Overload shedding: reject before queueing for an admission slot (see
+    // join_executor.cc); kResourceExhausted is final, never retried.
+    c.metrics().RecordQueryShed(sched.Now());
+    if (qa != nullptr) qa->outcome = StatusCode::kResourceExhausted;
+    co_return;
+  }
   co_await c.pe(coord).admission().Acquire();
   AdmissionGuard admission(sched, c.pe(coord).admission());
   co_await UseCpu(c, coord, costs.initiate_txn);
+  bool degraded = false;
 
   // Intermediate-result location: empty before stage 1 (inner comes from
   // the scan of A).
@@ -103,6 +111,7 @@ sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c, QueryAttempt* qa) {
     }
     JoinPlan plan = c.policy().Plan(req, c.control(), c.workload_rng());
     const int p = plan.degree;
+    degraded = degraded || plan.degraded;
 
     // This stage's participants: inner sources, outer scan nodes, join PEs.
     std::set<PeId> participants(outer_nodes.begin(), outer_nodes.end());
@@ -241,6 +250,15 @@ sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c, QueryAttempt* qa) {
   co_await UseCpu(c, coord, costs.terminate_txn);
   admission.ReleaseNow();
   c.metrics().RecordMultiwayJoin(sched.Now() - t0, stages, sched.Now());
+  if (degraded) {
+    // Any overload-capped stage marks the whole query degraded; supervised
+    // queries defer the count to the supervisor.
+    if (qa != nullptr) {
+      qa->degraded_plan = true;
+    } else {
+      c.metrics().RecordQueryDegraded(sched.Now());
+    }
+  }
 }
 
 }  // namespace pdblb

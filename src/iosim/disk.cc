@@ -45,6 +45,41 @@ sim::Resource& DiskArray::DiskFor(PageKey page) {
   return *disks_[h % disks_.size()];
 }
 
+void DiskArray::ConfigureFaults(double error_rate, int retry_limit,
+                                double retry_penalty_ms, sim::Rng rng) {
+  assert(error_rate >= 0.0 && error_rate < 1.0);
+  io_error_rate_ = error_rate;
+  io_retry_limit_ = retry_limit;
+  io_retry_penalty_ms_ = retry_penalty_ms;
+  fault_rng_ = rng;
+}
+
+void DiskArray::SetServiceMultiplier(double m) {
+  assert(m >= 1.0);
+  service_multiplier_ = m;
+}
+
+double DiskArray::Scaled(double service_ms) {
+  if (service_multiplier_ == 1.0) return service_ms;
+  double scaled = service_ms * service_multiplier_;
+  slow_disk_extra_ms_ += scaled - service_ms;
+  return scaled;
+}
+
+sim::Task<> DiskArray::InjectedRetries(sim::Resource& disk) {
+  // Each failed draw is one observed error; each reissue pays the retry
+  // penalty on the same spindle.  The chain is bounded per access, and a
+  // chain that runs out of budget surfaces its last error unretried.
+  int chain = 0;
+  while (fault_rng_->Uniform() < io_error_rate_) {
+    ++io_errors_;
+    if (chain >= io_retry_limit_) break;
+    ++chain;
+    ++io_retries_;
+    co_await disk.Use(Scaled(io_retry_penalty_ms_));
+  }
+}
+
 bool DiskArray::CacheContains(PageKey page) const {
   return cache_map_.find(page) != cache_map_.end();
 }
@@ -78,8 +113,10 @@ sim::Task<> DiskArray::Read(PageKey page, AccessPattern pattern) {
 
   int fetch = pattern == AccessPattern::kSequential ? config_.prefetch_pages : 1;
   ++physical_reads_;
-  co_await DiskFor(page).Use(config_.avg_access_time_ms +
-                             config_.prefetch_delay_per_page_ms * fetch);
+  co_await DiskFor(page).Use(Scaled(config_.avg_access_time_ms +
+                                    config_.prefetch_delay_per_page_ms *
+                                        fetch));
+  if (fault_rng_) co_await InjectedRetries(DiskFor(page));
   co_await controller_->Use(config_.controller_time_per_page_ms * fetch);
   for (int i = 0; i < fetch; ++i) {
     CacheInsert(PageKey{page.relation_id, page.page_no + i});
@@ -120,8 +157,10 @@ sim::Task<> DiskArray::ReadStriped(PageKey first, int64_t count) {
 
 sim::Task<> DiskArray::ReadBatchFromDisk(PageKey first, int pages) {
   co_await cpu_.Use(InstructionsToMs(costs_.io_overhead, mips_));
-  co_await DiskFor(first).Use(config_.avg_access_time_ms +
-                              config_.prefetch_delay_per_page_ms * pages);
+  co_await DiskFor(first).Use(Scaled(config_.avg_access_time_ms +
+                                     config_.prefetch_delay_per_page_ms *
+                                         pages));
+  if (fault_rng_) co_await InjectedRetries(DiskFor(first));
   co_await controller_->Use(config_.controller_time_per_page_ms * pages);
 }
 
@@ -131,8 +170,10 @@ sim::Task<> DiskArray::WriteBatch(PageKey first, int count) {
   ++physical_writes_;
   co_await sched_.Delay(config_.transmission_time_per_page_ms * count, tag_);
   co_await controller_->Use(config_.controller_time_per_page_ms * count);
-  co_await DiskFor(first).Use(config_.avg_access_time_ms +
-                              config_.prefetch_delay_per_page_ms * count);
+  co_await DiskFor(first).Use(Scaled(config_.avg_access_time_ms +
+                                     config_.prefetch_delay_per_page_ms *
+                                         count));
+  if (fault_rng_) co_await InjectedRetries(DiskFor(first));
   for (int i = 0; i < count; ++i) {
     CacheInsert(PageKey{first.relation_id, first.page_no + i});
   }
@@ -144,7 +185,8 @@ sim::Task<> DiskArray::WriteRandom(PageKey page) {
 
 sim::Task<> DiskArray::LogWrite() {
   co_await cpu_.Use(InstructionsToMs(costs_.io_overhead, mips_));
-  co_await log_disk_->Use(config_.log_write_ms);
+  co_await log_disk_->Use(Scaled(config_.log_write_ms));
+  if (fault_rng_) co_await InjectedRetries(*log_disk_);
 }
 
 double DiskArray::DataDiskUtilization() const {
@@ -167,6 +209,9 @@ void DiskArray::ResetStats() {
   physical_writes_ = 0;
   cache_hits_ = 0;
   logical_reads_ = 0;
+  io_errors_ = 0;
+  io_retries_ = 0;
+  slow_disk_extra_ms_ = 0.0;
 }
 
 }  // namespace pdblb

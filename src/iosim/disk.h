@@ -19,6 +19,7 @@
 
 #include <list>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "catalog/relation.h"
 #include "common/config.h"
 #include "simkern/resource.h"
+#include "simkern/rng.h"
 #include "simkern/scheduler.h"
 #include "simkern/task.h"
 #include "simkern/task_group.h"
@@ -79,6 +81,29 @@ class DiskArray {
   /// Appends one record batch to the local log (OLTP commit).
   sim::Task<> LogWrite();
 
+  // --- fault injection (engine/faults.h) ----------------------------------
+  /// Arms transient I/O errors: every physical access draws from `rng` (a
+  /// dedicated per-PE fork of the root seed) and fails with probability
+  /// `error_rate`; the driver retries a failed access with a fixed
+  /// `retry_penalty_ms` service charge, at most `retry_limit` times per
+  /// access (a chain that exhausts the budget surfaces the final error
+  /// without another reissue, so io_errors() >= io_retries() always).
+  /// Never armed on the fault-free path: zero draws, zero extra awaits.
+  void ConfigureFaults(double error_rate, int retry_limit,
+                       double retry_penalty_ms, sim::Rng rng);
+
+  /// Slow-disk mode: multiplies every physical disk/log service time by
+  /// `m` (>= 1); 1.0 restores normal speed.  In Shared Disk mode the
+  /// multiplier is per-facade: it models this PE's degraded storage
+  /// adapter path to the shared spindles.
+  void SetServiceMultiplier(double m);
+  double service_multiplier() const { return service_multiplier_; }
+
+  int64_t io_errors() const { return io_errors_; }
+  int64_t io_retries() const { return io_retries_; }
+  /// Extra service time injected by the slow-disk multiplier.
+  double slow_disk_extra_ms() const { return slow_disk_extra_ms_; }
+
   // --- introspection ------------------------------------------------------
   int num_disks() const { return static_cast<int>(disks_.size()); }
   /// Mean utilization of the data disks since the last ResetStats.
@@ -99,6 +124,12 @@ class DiskArray {
   void CacheInsert(PageKey page);
   /// One prefetch batch: disk access plus controller service.
   sim::Task<> ReadBatchFromDisk(PageKey first, int pages);
+  /// Applies the slow-disk multiplier to a physical service time and
+  /// accounts the injected extra.  Exact identity when the mode is off.
+  double Scaled(double service_ms);
+  /// Transient-error draw/retry chain after one physical access; only ever
+  /// awaited when ConfigureFaults armed the RNG.
+  sim::Task<> InjectedRetries(sim::Resource& disk);
 
   sim::Scheduler& sched_;
   DiskConfig config_;
@@ -121,6 +152,16 @@ class DiskArray {
   int64_t physical_writes_ = 0;
   int64_t cache_hits_ = 0;
   int64_t logical_reads_ = 0;
+
+  // Fault state: unset/1.0 on the fault-free path.
+  std::optional<sim::Rng> fault_rng_;
+  double io_error_rate_ = 0.0;
+  int io_retry_limit_ = 0;
+  double io_retry_penalty_ms_ = 0.0;
+  double service_multiplier_ = 1.0;
+  int64_t io_errors_ = 0;
+  int64_t io_retries_ = 0;
+  double slow_disk_extra_ms_ = 0.0;
 };
 
 }  // namespace pdblb

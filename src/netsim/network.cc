@@ -12,6 +12,33 @@ Network::Network(sim::Scheduler& sched, const NetworkConfig& net_config,
     : sched_(sched), config_(net_config), costs_(costs), mips_(mips),
       cpus_(std::move(cpus)) {}
 
+void Network::SetPartitioned(PeId a, PeId b, bool partitioned) {
+  assert(a != b);
+  if (partitioned_.empty()) {
+    partitioned_.assign(cpus_.size() * cpus_.size(), 0);
+  }
+  uint8_t value = partitioned ? 1 : 0;
+  if (partitioned_[LinkIndex(a, b)] == value) return;
+  partitioned_[LinkIndex(a, b)] = value;
+  partitioned_[LinkIndex(b, a)] = value;
+  partitioned_links_ += partitioned ? 1 : -1;
+}
+
+bool Network::Partitioned(PeId a, PeId b) const {
+  if (partitioned_.empty()) return false;
+  return partitioned_[LinkIndex(a, b)] != 0;
+}
+
+void Network::SetLinkDelayMultiplier(PeId a, PeId b, double factor) {
+  assert(a != b);
+  assert(factor >= 1.0);
+  if (link_delay_factor_.empty()) {
+    link_delay_factor_.assign(cpus_.size() * cpus_.size(), 1.0);
+  }
+  link_delay_factor_[LinkIndex(a, b)] = factor;
+  link_delay_factor_[LinkIndex(b, a)] = factor;
+}
+
 int64_t Network::PacketsFor(int64_t bytes) const {
   if (bytes <= 0) return 1;
   return (bytes + config_.packet_size_bytes - 1) / config_.packet_size_bytes;
@@ -31,9 +58,15 @@ sim::Task<> Network::Transfer(PeId src, PeId dst, int64_t bytes) {
 
   // Wire latency (store-and-forward across packets).  Traced as network
   // time with the sending PE as origin; the CPU shares of the transfer are
-  // charged on (and attributed to) the endpoint CPUs above/below.
+  // charged on (and attributed to) the endpoint CPUs above/below.  A slow
+  // link stretches the wire share only (the endpoint CPU work is unchanged).
+  double wire_ms =
+      config_.wire_time_per_packet_ms * static_cast<double>(packets);
+  if (!link_delay_factor_.empty()) {
+    wire_ms *= link_delay_factor_[LinkIndex(src, dst)];
+  }
   co_await sched_.Delay(
-      config_.wire_time_per_packet_ms * static_cast<double>(packets),
+      wire_ms,
       sim::TraceTag(sim::TraceSubsystem::kNetwork,
                     static_cast<uint16_t>(src)));
 

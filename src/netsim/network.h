@@ -47,6 +47,24 @@ class Network {
   /// Packets needed for `bytes` (at least 1 for a non-empty message).
   int64_t PacketsFor(int64_t bytes) const;
 
+  // --- link faults (engine/faults.h) --------------------------------------
+  // Per-link partition flags and wire-delay multipliers.  The state tables
+  // are lazily allocated on the first Set* call, so the fault-free path
+  // touches nothing; Transfer itself only consults the multiplier (>= 1,
+  // keeping slowed delays above the sharded-window lookahead).  Partitions
+  // are enforced one level up: the FaultInjector fails attempts that would
+  // span a cut link (kUnavailable into the Supervise retry path) instead of
+  // erroring the byte-stream, which has no failure channel.
+  /// Cuts or restores the (symmetric) a<->b link.
+  void SetPartitioned(PeId a, PeId b, bool partitioned);
+  /// True when the a<->b link is currently cut; false when never armed.
+  bool Partitioned(PeId a, PeId b) const;
+  /// True when any link is currently cut (cheap fault-free early-out).
+  bool AnyPartitions() const { return partitioned_links_ > 0; }
+  /// Multiplies the (symmetric) a<->b wire delay by `factor` (>= 1; 1.0
+  /// restores).
+  void SetLinkDelayMultiplier(PeId a, PeId b, double factor);
+
   // --- statistics ---------------------------------------------------------
   int64_t messages_sent() const { return messages_sent_; }
   int64_t packets_sent() const { return packets_sent_; }
@@ -54,11 +72,20 @@ class Network {
   void ResetStats();
 
  private:
+  size_t LinkIndex(PeId a, PeId b) const {
+    return static_cast<size_t>(a) * cpus_.size() + static_cast<size_t>(b);
+  }
+
   sim::Scheduler& sched_;
   NetworkConfig config_;
   CpuCosts costs_;
   double mips_;
   std::vector<sim::Resource*> cpus_;
+
+  // n x n link state, symmetric, empty until a fault arms it.
+  std::vector<uint8_t> partitioned_;
+  std::vector<double> link_delay_factor_;
+  int partitioned_links_ = 0;
 
   int64_t messages_sent_ = 0;
   int64_t packets_sent_ = 0;

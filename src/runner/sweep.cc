@@ -146,6 +146,7 @@ std::string ResultsCsv(const std::vector<SweepResult>& results) {
       "scan_rt_ms,update_rt_ms,multiway_rt_ms,lock_waits,"
       "queries_timed_out,queries_retried,queries_failed,queries_degraded,"
       "pe_crashes,pe_recoveries,"
+      "queries_shed,io_errors,io_retries,link_partitions,slow_disk_ms,"
       "buf_hit_ratio,buf_hits,buf_misses,buf_evictions,buf_writebacks,"
       "kernel_events,kernel_handoffs,seed\n";
   for (const SweepResult& res : results) {
@@ -157,6 +158,7 @@ std::string ResultsCsv(const std::vector<SweepResult>& results) {
           buf, cap,
           "\"%s\",%s,\"%s\",%.3f,%.3f,%.4f,%.4f,%.4f,%.2f,%.3f,%.3f,%.3f,"
           "%.3f,%.3f,%.3f,%lld,%lld,%lld,%lld,%lld,%lld,%lld,"
+          "%lld,%lld,%lld,%lld,%.3f,"
           "%.4f,%lld,%lld,%lld,%lld,%llu,%llu,"
           "%llu\n",
           res.point.name.c_str(), res.point.x_label.c_str(),
@@ -171,6 +173,10 @@ std::string ResultsCsv(const std::vector<SweepResult>& results) {
           static_cast<long long>(r.queries_degraded),
           static_cast<long long>(r.pe_crashes),
           static_cast<long long>(r.pe_recoveries),
+          static_cast<long long>(r.queries_shed),
+          static_cast<long long>(r.io_errors),
+          static_cast<long long>(r.io_retries),
+          static_cast<long long>(r.link_partitions), r.slow_disk_ms,
           r.buffer_hit_ratio, static_cast<long long>(r.buffer_hits),
           static_cast<long long>(r.buffer_misses),
           static_cast<long long>(r.buffer_evictions),

@@ -15,6 +15,8 @@
 #include <string>
 
 #include "bufmgr/buffer_manager.h"
+#include "common/config.h"
+#include "engine/cluster.h"
 #include "iosim/disk.h"
 #include "lockmgr/lock_manager.h"
 #include "simkern/channel.h"
@@ -310,6 +312,52 @@ TEST(CancelTest, CancellationScenarioReplaysBitIdentical) {
   if (sim::kTraceCompiledIn) {
     EXPECT_NE(a.trace, Tracer::kCsvHeader) << "scenario recorded no events";
   }
+}
+
+// Composed-fault unwind regression: disk retry chains, a partition and a PE
+// crash all land inside the same few hundred milliseconds, so attempts that
+// are stalled in injected disk retries get cancelled by the partition while
+// the crash tears down whatever retried onto the failed PE.  Each RAII guard
+// (admission, locks, buffer reservation) must release exactly once — a
+// double release would corrupt the admission slot count below, a leak would
+// trip the post-run conservation checks and leak detection.
+TEST(CancelTest, ComposedFaultsUnwindGuardsExactlyOnce) {
+  SystemConfig cfg;
+  cfg.num_pes = 8;
+  cfg.warmup_ms = 1000.0;
+  cfg.measurement_ms = 6000.0;
+  cfg.join_query.arrival_rate_per_pe_qps = 0.5;
+  cfg.cc_scheme = CcScheme::kTwoPhaseLocking;  // TxnLocksGuard in play too
+  cfg.faults.io_error_rate = 0.2;              // long injected retry chains
+  cfg.faults.io_retry_penalty_ms = 20.0;
+  cfg.faults.events = {{3000.0, FaultKind::kPartition, 0, 3},
+                       {3050.0, FaultKind::kCrash, 3},
+                       {3500.0, FaultKind::kRecover, 3},
+                       {3600.0, FaultKind::kHeal, 0, 3}};
+  cfg.faults.retry.max_attempts = 5;
+  cfg.faults.retry.initial_backoff_ms = 100.0;
+
+  auto run = [&] {
+    Cluster cluster(cfg);
+    MetricsReport r = cluster.Run();
+    for (PeId pe = 0; pe < cfg.num_pes; ++pe) {
+      EXPECT_EQ(cluster.pe(pe).admission().busy(), 0)
+          << "admission slot leaked or double-released at pe " << pe;
+      EXPECT_EQ(cluster.pe(pe).buffer().reserved(), 0) << "pe " << pe;
+      EXPECT_EQ(cluster.pe(pe).buffer().memory_queue_length(), 0u)
+          << "pe " << pe;
+    }
+    return r;
+  };
+  MetricsReport r1 = run();
+  EXPECT_GT(r1.queries_retried, 0) << "the composed faults cancelled nothing";
+  EXPECT_GT(r1.io_errors, 0);
+  EXPECT_EQ(r1.link_partitions, 1);
+  EXPECT_EQ(r1.pe_crashes, 1);
+  MetricsReport r2 = run();
+  EXPECT_EQ(r1.kernel_events, r2.kernel_events)
+      << "composed-fault unwind is not deterministic";
+  EXPECT_EQ(r1.queries_retried, r2.queries_retried);
 }
 
 }  // namespace

@@ -1,0 +1,374 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Chaos invariant suite: the three gray-failure domains (transient disk
+// errors + slow-disk windows, link degradation + partitions, overload
+// shedding/degradation) unit-tested in isolation and composed at cluster
+// level.  The composed runs check the conservation invariants — no admission
+// slot, buffer reservation or memory-queue entry survives the run — and the
+// determinism contract (identical reports across reruns and shard counts,
+// identical sweep CSV across worker counts).  The whole binary runs under
+// leak detection, so every chaotic run doubles as a no-leaked-frames check.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/config.h"
+#include "core/control_node.h"
+#include "engine/cluster.h"
+#include "iosim/disk.h"
+#include "netsim/network.h"
+#include "runner/sweep.h"
+#include "simkern/resource.h"
+#include "simkern/rng.h"
+#include "simkern/scheduler.h"
+#include "simkern/task.h"
+
+namespace pdblb {
+namespace {
+
+// ------------------------------------------------------------ disk domain
+
+struct DiskFixture {
+  sim::Scheduler sched;
+  sim::Resource cpu{sched, 1, "cpu"};
+  CpuCosts costs;
+  DiskConfig config;
+  std::unique_ptr<DiskArray> disks;
+
+  DiskFixture() {
+    disks = std::make_unique<DiskArray>(sched, config, costs, 20.0, cpu, "d");
+  }
+
+  sim::Task<> ReadPages(int count) {
+    for (int i = 0; i < count; ++i) {
+      co_await disks->Read(PageKey{1, static_cast<int64_t>(i)},
+                           AccessPattern::kRandom);
+    }
+  }
+};
+
+TEST(DiskChaosTest, InjectedErrorsAreCountedAndDeterministic) {
+  auto run = [](uint64_t seed) {
+    DiskFixture f;
+    f.disks->ConfigureFaults(/*error_rate=*/0.2, /*retry_limit=*/3,
+                             /*retry_penalty_ms=*/5.0, sim::Rng(seed));
+    f.sched.Spawn(f.ReadPages(200));
+    f.sched.Run();
+    return std::pair<int64_t, int64_t>(f.disks->io_errors(),
+                                       f.disks->io_retries());
+  };
+  auto [errors, retries] = run(7);
+  EXPECT_GT(errors, 0) << "20% error rate over 200 reads drew no errors";
+  EXPECT_GE(errors, retries) << "a retry without a preceding error";
+  auto [errors2, retries2] = run(7);
+  EXPECT_EQ(errors, errors2) << "same seed, different error count";
+  EXPECT_EQ(retries, retries2);
+}
+
+TEST(DiskChaosTest, RetryChainIsCappedByTheLimit) {
+  DiskFixture f;
+  // Error rate 1.0: every draw fails, so a single physical access burns the
+  // whole retry budget and surfaces the final error without reissue —
+  // exactly retry_limit retries and retry_limit + 1 errors.
+  f.disks->ConfigureFaults(1.0, /*retry_limit=*/3, 5.0, sim::Rng(1));
+  f.sched.Spawn(f.ReadPages(1));
+  f.sched.Run();
+  EXPECT_EQ(f.disks->io_retries(), 3);
+  EXPECT_EQ(f.disks->io_errors(), 4);
+}
+
+TEST(DiskChaosTest, ServiceMultiplierStretchesAndAccountsTime) {
+  auto elapsed_with = [](double multiplier) {
+    DiskFixture f;
+    f.disks->SetServiceMultiplier(multiplier);
+    f.sched.Spawn(f.ReadPages(20));
+    f.sched.Run();
+    return std::pair<double, double>(f.sched.Now(),
+                                     f.disks->slow_disk_extra_ms());
+  };
+  auto [normal_ms, normal_extra] = elapsed_with(1.0);
+  auto [slow_ms, slow_extra] = elapsed_with(3.0);
+  EXPECT_GT(slow_ms, normal_ms) << "x3 disk did not slow the reads";
+  EXPECT_GT(slow_extra, 0.0);
+  EXPECT_EQ(normal_extra, 0.0) << "x1 must be an exact identity";
+  // The injected extra accounts the whole stretch of the physical service.
+  EXPECT_NEAR(slow_ms - normal_ms, slow_extra, 1e-9);
+}
+
+TEST(DiskChaosTest, UnarmedDiskKeepsZeroFaultCounters) {
+  DiskFixture f;
+  f.sched.Spawn(f.ReadPages(50));
+  f.sched.Run();
+  EXPECT_EQ(f.disks->io_errors(), 0);
+  EXPECT_EQ(f.disks->io_retries(), 0);
+  EXPECT_EQ(f.disks->slow_disk_extra_ms(), 0.0);
+}
+
+// --------------------------------------------------------- network domain
+
+struct NetFixture {
+  sim::Scheduler sched;
+  std::vector<std::unique_ptr<sim::Resource>> cpus;
+  std::unique_ptr<Network> net;
+
+  explicit NetFixture(int n) {
+    CpuCosts costs;
+    NetworkConfig config;
+    std::vector<sim::Resource*> ptrs;
+    for (int i = 0; i < n; ++i) {
+      cpus.push_back(std::make_unique<sim::Resource>(sched, 1, "cpu"));
+      ptrs.push_back(cpus.back().get());
+    }
+    net = std::make_unique<Network>(sched, config, costs, 20.0, ptrs);
+  }
+};
+
+TEST(NetworkChaosTest, PartitionFlagsAreSymmetric) {
+  NetFixture f(4);
+  EXPECT_FALSE(f.net->AnyPartitions());
+  EXPECT_FALSE(f.net->Partitioned(1, 2));
+  f.net->SetPartitioned(1, 2, true);
+  EXPECT_TRUE(f.net->Partitioned(1, 2));
+  EXPECT_TRUE(f.net->Partitioned(2, 1)) << "partition must be symmetric";
+  EXPECT_FALSE(f.net->Partitioned(0, 3));
+  EXPECT_TRUE(f.net->AnyPartitions());
+  f.net->SetPartitioned(1, 2, true);  // redundant cut must not double-count
+  f.net->SetPartitioned(2, 1, false);
+  EXPECT_FALSE(f.net->AnyPartitions()) << "heal left a phantom partition";
+}
+
+TEST(NetworkChaosTest, LinkDelayMultiplierStretchesTransfer) {
+  auto elapsed_with = [](bool slow) {
+    NetFixture f(2);
+    if (slow) f.net->SetLinkDelayMultiplier(0, 1, 4.0);
+    f.sched.Spawn(f.net->Transfer(0, 1, 1 << 20));
+    f.sched.Run();
+    return f.sched.Now();
+  };
+  double normal = elapsed_with(false);
+  double slow = elapsed_with(true);
+  EXPECT_GT(slow, normal) << "x4 wire delay did not slow the transfer";
+}
+
+// -------------------------------------------------------- overload domain
+
+OverloadConfig TightOverload() {
+  OverloadConfig oc;
+  oc.enabled = true;
+  oc.degrade_queue_threshold = 4.0;
+  oc.shed_queue_threshold = 8.0;
+  oc.exit_queue_threshold = 1.0;
+  oc.enter_rounds = 2;
+  oc.exit_rounds = 2;
+  oc.parallelism_factor = 0.5;
+  return oc;
+}
+
+TEST(OverloadStateMachineTest, EscalatesAndRecoversWithHysteresis) {
+  ControlNode cn(4, /*adaptive_feedback=*/false);
+  cn.ConfigureOverload(TightOverload());
+  EXPECT_EQ(cn.overload_state(), OverloadState::kNormal);
+  EXPECT_EQ(cn.DegreeCap(4), 4) << "normal state must not cap";
+
+  cn.NoteLoadRound(5.0);  // first hot round: hysteresis holds
+  EXPECT_EQ(cn.overload_state(), OverloadState::kNormal);
+  cn.NoteLoadRound(5.0);  // second consecutive hot round: degrade
+  EXPECT_EQ(cn.overload_state(), OverloadState::kDegraded);
+  EXPECT_EQ(cn.DegreeCap(4), 2) << "ceil(4 alive * 0.5)";
+  EXPECT_EQ(cn.DegreeCap(1), 1) << "cap never below 1";
+  EXPECT_FALSE(cn.ShouldShed());
+
+  cn.NoteLoadRound(10.0);
+  EXPECT_EQ(cn.overload_state(), OverloadState::kDegraded);
+  cn.NoteLoadRound(10.0);  // second round past the shed threshold
+  EXPECT_EQ(cn.overload_state(), OverloadState::kShedding);
+  EXPECT_TRUE(cn.ShouldShed());
+
+  cn.NoteLoadRound(0.0);  // queues drain...
+  EXPECT_TRUE(cn.ShouldShed()) << "one cool round must not exit shedding";
+  cn.NoteLoadRound(0.0);
+  EXPECT_EQ(cn.overload_state(), OverloadState::kDegraded);
+  cn.NoteLoadRound(0.0);
+  cn.NoteLoadRound(0.0);
+  EXPECT_EQ(cn.overload_state(), OverloadState::kNormal);
+  EXPECT_EQ(cn.DegreeCap(4), 4);
+}
+
+TEST(OverloadStateMachineTest, BorderlineRoundsResetTheStreak) {
+  ControlNode cn(4, false);
+  cn.ConfigureOverload(TightOverload());
+  // Alternating hot/cool rounds never accumulate enter_rounds = 2 in a row.
+  for (int i = 0; i < 10; ++i) {
+    cn.NoteLoadRound(i % 2 == 0 ? 5.0 : 0.0);
+    EXPECT_EQ(cn.overload_state(), OverloadState::kNormal) << "round " << i;
+  }
+}
+
+TEST(OverloadStateMachineTest, DisabledConfigIsInert) {
+  ControlNode cn(4, false);  // overload never configured
+  for (int i = 0; i < 10; ++i) cn.NoteLoadRound(1000.0);
+  EXPECT_EQ(cn.overload_state(), OverloadState::kNormal);
+  EXPECT_EQ(cn.DegreeCap(4), 4);
+  EXPECT_FALSE(cn.ShouldShed());
+}
+
+// ------------------------------------------------------- composed cluster
+
+/// All three domains at once, mirroring bench/chaos.cc intensity 3 on a
+/// shorter horizon: background disk errors, a slow-disk window, a degraded
+/// link, a partition, a crash/repair cycle, and tight overload thresholds
+/// under elevated load.
+SystemConfig ComposedChaosConfig() {
+  SystemConfig cfg;
+  cfg.num_pes = 8;
+  cfg.multiprogramming_level = 2;
+  cfg.warmup_ms = 1000.0;
+  cfg.measurement_ms = 6000.0;
+  cfg.join_query.arrival_rate_per_pe_qps = 1.0;
+  cfg.faults.io_error_rate = 0.03;
+  cfg.faults.events = {{2000.0, FaultKind::kSlowDisk, 1, -1, 4.0},
+                       {4500.0, FaultKind::kSlowDisk, 1, -1, 1.0},
+                       {2000.0, FaultKind::kSlowLink, 4, 5, 4.0},
+                       {2500.0, FaultKind::kPartition, 0, 3},
+                       {3800.0, FaultKind::kHeal, 0, 3},
+                       {3000.0, FaultKind::kCrash, 2},
+                       {4200.0, FaultKind::kRecover, 2}};
+  cfg.faults.query_timeout_ms = 8000.0;
+  cfg.faults.retry.max_attempts = 6;
+  cfg.faults.retry.initial_backoff_ms = 100.0;
+  cfg.overload.enabled = true;
+  cfg.overload.degrade_queue_threshold = 1.0;
+  cfg.overload.shed_queue_threshold = 2.0;
+  cfg.overload.exit_queue_threshold = 0.5;
+  cfg.overload.enter_rounds = 2;
+  cfg.overload.exit_rounds = 3;
+  cfg.control_report_interval_ms = 500.0;
+  return cfg;
+}
+
+TEST(ChaosClusterTest, ComposedChaosHoldsConservationInvariants) {
+  SystemConfig cfg = ComposedChaosConfig();
+  Cluster cluster(cfg);
+  MetricsReport r = cluster.Run();
+
+  // Every domain fired.
+  EXPECT_GT(r.joins_completed, 0) << "chaos starved the workload completely";
+  EXPECT_GT(r.io_errors, 0);
+  EXPECT_GE(r.io_errors, r.io_retries);
+  EXPECT_GT(r.slow_disk_ms, 0.0);
+  EXPECT_EQ(r.link_partitions, 1);
+  EXPECT_EQ(r.pe_crashes, 1);
+  EXPECT_EQ(r.pe_recoveries, 1);
+  EXPECT_GT(r.queries_retried, 0) << "partition/crash victims never retried";
+
+  // Conservation: after the drain no admission slot, buffer reservation or
+  // memory-queue entry survives, at any PE — every cancellation path
+  // released what it held.
+  for (PeId pe = 0; pe < cfg.num_pes; ++pe) {
+    EXPECT_EQ(cluster.pe(pe).admission().busy(), 0) << "pe " << pe;
+    EXPECT_EQ(cluster.pe(pe).admission().queue_length(), 0u) << "pe " << pe;
+    EXPECT_EQ(cluster.pe(pe).buffer().reserved(), 0) << "pe " << pe;
+    EXPECT_EQ(cluster.pe(pe).buffer().memory_queue_length(), 0u)
+        << "pe " << pe;
+    EXPECT_FALSE(cluster.pe(pe).failed()) << "pe " << pe;
+  }
+}
+
+TEST(ChaosClusterTest, ComposedChaosIsDeterministicAcrossReruns) {
+  SystemConfig cfg = ComposedChaosConfig();
+  MetricsReport r1 = Cluster(cfg).Run();
+  MetricsReport r2 = Cluster(cfg).Run();
+  EXPECT_EQ(r1.joins_completed, r2.joins_completed);
+  EXPECT_DOUBLE_EQ(r1.join_rt_ms, r2.join_rt_ms);
+  EXPECT_EQ(r1.queries_shed, r2.queries_shed);
+  EXPECT_EQ(r1.queries_degraded, r2.queries_degraded);
+  EXPECT_EQ(r1.queries_retried, r2.queries_retried);
+  EXPECT_EQ(r1.queries_failed, r2.queries_failed);
+  EXPECT_EQ(r1.io_errors, r2.io_errors);
+  EXPECT_EQ(r1.io_retries, r2.io_retries);
+  EXPECT_EQ(r1.link_partitions, r2.link_partitions);
+  EXPECT_DOUBLE_EQ(r1.slow_disk_ms, r2.slow_disk_ms);
+  EXPECT_EQ(r1.kernel_events, r2.kernel_events);
+}
+
+TEST(ChaosClusterTest, ComposedChaosIsIdenticalAcrossShardCounts) {
+  SystemConfig base = ComposedChaosConfig();
+  MetricsReport r1 = Cluster(base).Run();
+  for (int shards : {2, 4}) {
+    SystemConfig cfg = base;
+    cfg.shards = shards;
+    MetricsReport r = Cluster(cfg).Run();
+    EXPECT_EQ(r.joins_completed, r1.joins_completed) << "shards=" << shards;
+    EXPECT_EQ(r.queries_shed, r1.queries_shed) << "shards=" << shards;
+    EXPECT_EQ(r.queries_degraded, r1.queries_degraded) << "shards=" << shards;
+    EXPECT_EQ(r.io_errors, r1.io_errors) << "shards=" << shards;
+    EXPECT_DOUBLE_EQ(r.slow_disk_ms, r1.slow_disk_ms) << "shards=" << shards;
+    EXPECT_DOUBLE_EQ(r.join_rt_ms, r1.join_rt_ms) << "shards=" << shards;
+  }
+}
+
+TEST(ChaosClusterTest, OverloadShedsAndDegradesUnderSustainedPressure) {
+  // Overload alone (no fault injection): queries run unsupervised, so this
+  // exercises the direct shed/degrade accounting path in the executor.
+  SystemConfig cfg;
+  cfg.num_pes = 8;
+  cfg.multiprogramming_level = 1;
+  cfg.warmup_ms = 1000.0;
+  cfg.measurement_ms = 8000.0;
+  cfg.join_query.arrival_rate_per_pe_qps = 2.0;
+  cfg.overload.enabled = true;
+  cfg.overload.degrade_queue_threshold = 0.5;
+  cfg.overload.shed_queue_threshold = 1.0;
+  cfg.overload.exit_queue_threshold = 0.25;
+  cfg.overload.enter_rounds = 1;
+  cfg.control_report_interval_ms = 500.0;
+  MetricsReport r = Cluster(cfg).Run();
+  EXPECT_GT(r.queries_shed, 0) << "4x overload never triggered shedding";
+  EXPECT_GT(r.queries_degraded, 0) << "no plan was overload-capped";
+  EXPECT_GT(r.joins_completed, 0) << "shedding must not starve admission";
+  EXPECT_EQ(r.queries_failed, 0) << "shed queries must not count as failed";
+}
+
+TEST(ChaosClusterTest, SlackOverloadThresholdsMatchDisabledRunExactly) {
+  // An enabled-but-never-triggered overload controller is pure bookkeeping:
+  // the event stream must be identical to the disabled configuration.
+  SystemConfig cfg;
+  cfg.num_pes = 8;
+  cfg.warmup_ms = 1000.0;
+  cfg.measurement_ms = 5000.0;
+  cfg.join_query.arrival_rate_per_pe_qps = 0.4;
+  MetricsReport off = Cluster(cfg).Run();
+  cfg.overload.enabled = true;
+  cfg.overload.degrade_queue_threshold = 1e9;
+  cfg.overload.shed_queue_threshold = 1e9;
+  MetricsReport on = Cluster(cfg).Run();
+  EXPECT_EQ(on.kernel_events, off.kernel_events)
+      << "idle overload bookkeeping perturbed the event stream";
+  EXPECT_EQ(on.joins_completed, off.joins_completed);
+  EXPECT_DOUBLE_EQ(on.join_rt_ms, off.join_rt_ms);
+  EXPECT_EQ(on.queries_shed, 0);
+  EXPECT_EQ(on.queries_degraded, 0);
+}
+
+TEST(ChaosClusterTest, SweepCsvIsIdenticalAcrossWorkerCounts) {
+  runner::Sweep sweep;
+  SystemConfig chaotic = ComposedChaosConfig();
+  chaotic.measurement_ms = 3000.0;
+  sweep.Add({"chaos_test/a", "a", 0, "0", chaotic});
+  sweep.Add({"chaos_test/b", "b", 1, "1", chaotic});
+  sweep.Add({"chaos_test/c", "c", 2, "2", chaotic});
+  runner::SweepOptions opts;
+  opts.jobs = 1;
+  std::string csv1 = runner::ResultsCsv(sweep.Run(opts));
+  opts.jobs = 3;
+  std::string csv3 = runner::ResultsCsv(sweep.Run(opts));
+  EXPECT_EQ(csv1, csv3) << "worker count leaked into the chaos CSV";
+  EXPECT_NE(csv1.find("queries_shed,io_errors,io_retries,link_partitions,"
+                      "slow_disk_ms"),
+            std::string::npos)
+      << "robustness columns missing from the CSV header";
+}
+
+}  // namespace
+}  // namespace pdblb

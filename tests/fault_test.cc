@@ -180,5 +180,96 @@ TEST(FaultTest, FaultSpecParsingRoundTrips) {
   EXPECT_FALSE(ParseFaultSpec("crash@100:3", &fc).ok());
 }
 
+// Satellite: the gray-failure grammar terms round-trip into FaultConfig and
+// malformed clauses fail eagerly with a rejection (not a silent skip).
+TEST(FaultTest, GrayFailureSpecParsingRoundTrips) {
+  FaultConfig fc;
+  Status st = ParseFaultSpec(
+      "slowdisk@2000:pe1:x3;slowdisk@4000:pe1:x1;partition@2500:pe0-pe3;"
+      "heal@3800:pe0-pe3;slowlink@2000:pe4-pe5:x2.5;iorate=0.05",
+      &fc);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(fc.events.size(), 5u);
+  EXPECT_EQ(fc.events[0].kind, FaultKind::kSlowDisk);
+  EXPECT_EQ(fc.events[0].pe, 1);
+  EXPECT_DOUBLE_EQ(fc.events[0].at_ms, 2000.0);
+  EXPECT_DOUBLE_EQ(fc.events[0].factor, 3.0);
+  EXPECT_DOUBLE_EQ(fc.events[1].factor, 1.0) << "x1 restores normal speed";
+  EXPECT_EQ(fc.events[2].kind, FaultKind::kPartition);
+  EXPECT_EQ(fc.events[2].pe, 0);
+  EXPECT_EQ(fc.events[2].pe2, 3);
+  EXPECT_EQ(fc.events[3].kind, FaultKind::kHeal);
+  EXPECT_EQ(fc.events[4].kind, FaultKind::kSlowLink);
+  EXPECT_EQ(fc.events[4].pe, 4);
+  EXPECT_EQ(fc.events[4].pe2, 5);
+  EXPECT_DOUBLE_EQ(fc.events[4].factor, 2.5);
+  EXPECT_DOUBLE_EQ(fc.io_error_rate, 0.05);
+  EXPECT_TRUE(fc.DiskFaultsEnabled());
+
+  FaultConfig sink;
+  EXPECT_FALSE(ParseFaultSpec("slowdisk@2000:pe1", &sink).ok())
+      << "slowdisk without a factor must be rejected";
+  EXPECT_FALSE(ParseFaultSpec("slowdisk@2000:pe1:x0.5", &sink).ok())
+      << "factors < 1 would break the sharded-window lookahead";
+  EXPECT_FALSE(ParseFaultSpec("partition@2500:pe0", &sink).ok())
+      << "partition needs two endpoints";
+  EXPECT_FALSE(ParseFaultSpec("partition@2500:pe3-pe3", &sink).ok())
+      << "endpoints must differ";
+  EXPECT_FALSE(ParseFaultSpec("slowlink@2000:pe4-pe5", &sink).ok())
+      << "slowlink without a factor must be rejected";
+  EXPECT_FALSE(ParseFaultSpec("iorate=1.5", &sink).ok());
+  EXPECT_FALSE(ParseFaultSpec("iorate=-0.1", &sink).ok());
+  EXPECT_FALSE(ParseFaultSpec("meltdown@100:pe1", &sink).ok())
+      << "unknown kinds must be rejected, not skipped";
+}
+
+// Satellite: fault-event edge timing.  A crash scheduled at t=0 takes the PE
+// down before the first arrival and the run still terminates cleanly.
+TEST(FaultTest, CrashAtTimeZeroIsAppliedBeforeArrivals) {
+  SystemConfig cfg = FaultyConfig();
+  cfg.faults.events = {{0.0, FaultKind::kCrash, 2},
+                       {4000.0, FaultKind::kRecover, 2}};
+  MetricsReport r = Cluster(cfg).Run();
+  EXPECT_EQ(r.pe_crashes, 1);
+  EXPECT_EQ(r.pe_recoveries, 1);
+  EXPECT_GT(r.joins_completed, 0) << "post-recovery joins should complete";
+}
+
+// A recovery scheduled beyond the measurement horizon never lands in the
+// report (Collect runs first), but the pending fault process must drain
+// cleanly during the post-measurement shutdown instead of hanging the run.
+TEST(FaultTest, RecoveryPastTheHorizonDrainsCleanly) {
+  SystemConfig cfg = FaultyConfig();
+  cfg.faults.events = {{3000.0, FaultKind::kCrash, 2},
+                       {100000.0, FaultKind::kRecover, 2}};
+  MetricsReport r = Cluster(cfg).Run();
+  EXPECT_EQ(r.pe_crashes, 1);
+  EXPECT_EQ(r.pe_recoveries, 0) << "recovery lies past the collected window";
+  EXPECT_GT(r.queries_failed, 0) << "the PE stays down all measurement long";
+}
+
+// Back-to-back events at the same timestamp apply in spec order (spawned in
+// spec order, calendar FIFO at equal timestamps): crash-then-recover leaves
+// the PE up, recover-then-crash (recover of an alive PE no-ops) leaves it
+// down.  This pins the documented tie-break in FaultInjector::ApplyAt.
+TEST(FaultTest, SameTimestampEventsApplyInSpecOrder) {
+  SystemConfig up = FaultyConfig();
+  up.faults.events = {{3000.0, FaultKind::kCrash, 2},
+                      {3000.0, FaultKind::kRecover, 2}};
+  MetricsReport r_up = Cluster(up).Run();
+  EXPECT_EQ(r_up.pe_crashes, 1);
+  EXPECT_EQ(r_up.pe_recoveries, 1) << "recover must apply after the crash";
+  EXPECT_EQ(r_up.queries_failed, 0) << "the outage had zero duration";
+
+  SystemConfig down = FaultyConfig();
+  down.faults.events = {{3000.0, FaultKind::kRecover, 2},
+                        {3000.0, FaultKind::kCrash, 2}};
+  MetricsReport r_down = Cluster(down).Run();
+  EXPECT_EQ(r_down.pe_crashes, 1);
+  EXPECT_EQ(r_down.pe_recoveries, 0)
+      << "recover of an alive PE must no-op, then the crash applies";
+  EXPECT_GT(r_down.queries_failed, 0) << "the PE stays down";
+}
+
 }  // namespace
 }  // namespace pdblb
