@@ -209,7 +209,21 @@ inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
                    "[--faults=SPEC] [--query-timeout-ms=T] "
                    "[--eviction=lru|lru-k|lfu|clock] "
                    "[--filter=SUBSTR] [--seed=S] [--fast] [--list] [--quiet] "
-                   "[--report-json=PATH] [--trace=PATH]\n",
+                   "[--report-json=PATH] [--trace=PATH]\n"
+                   "\n"
+                   "  --jobs=N    run sweep points on N processes (real "
+                   "parallelism for every driver)\n"
+                   "  --shards=S  scheduler shards inside one simulation.  "
+                   "Honest scope: the figure\n"
+                   "              drivers are not shard-confined, so S>1 "
+                   "runs them on ONE thread via the\n"
+                   "              windowed path, bit-identical to S=1 (a "
+                   "one-time stderr note says so).\n"
+                   "              Only confinement-disciplined workloads "
+                   "parallelize: the confined\n"
+                   "              engine (bench_simkern ConfinedCluster*) "
+                   "and the Sharded* kernel\n"
+                   "              shapes.  See docs/sharding.md.\n",
                    argv[0]);
       return 0;
     } else {

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
+#include <tuple>
 
 namespace pdblb {
 
@@ -396,6 +398,13 @@ Status ParseEvictionPolicy(const std::string& name, EvictionPolicyKind* out) {
 }
 
 Status ParseFaultSpec(const std::string& spec, FaultConfig* out) {
+  // Scripted clauses that restate an identical event — same kind, instant
+  // and target(s) — used to be accepted with silent last-wins ordering;
+  // reject them eagerly like every other spec error.  The key includes the
+  // kind on purpose: distinct kinds at the same (time, PE) are legitimate
+  // and apply in spec order (e.g. "crash@3000:pe=2;recover@3000:pe=2" is a
+  // bounce; FaultTest pins that tie-break).
+  std::set<std::tuple<int, double, int, int>> seen;
   size_t pos = 0;
   while (pos <= spec.size()) {
     size_t end = spec.find(';', pos);
@@ -434,6 +443,13 @@ Status ParseFaultSpec(const std::string& spec, FaultConfig* out) {
     }
     FaultEvent ev;
     PDBLB_RETURN_IF_ERROR(ParseScheduledClause(clause, &ev));
+    if (!seen.insert({static_cast<int>(ev.kind), ev.at_ms, ev.pe, ev.pe2})
+             .second) {
+      return Status::InvalidArgument(
+          "duplicate fault-spec clause (same kind, time and target appear "
+          "twice; the repeat would silently win): " +
+          clause);
+    }
     out->events.push_back(ev);
   }
   return Status::OK();

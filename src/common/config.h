@@ -460,13 +460,17 @@ struct SystemConfig {
   /// Scheduler shards for intra-simulation execution (simkern/sharded.h).
   /// 1 = the single-queue kernel.  >1 drives the run through the
   /// conservative-window pacing with the netsim wire time as lookahead.
-  /// The engine's executors are not yet shard-confined (one join coroutine
-  /// touches many PEs' resources directly), so inside a Cluster every PE
-  /// currently maps to one logical shard group and >1 buys no parallelism —
-  /// it keeps the windowed execution path exercised and bit-identical on
-  /// the full engine (CI compares --shards=4 CSVs against --shards=1)
-  /// while the kernel-level sharding (bench_simkern Sharded* shapes)
-  /// carries the parallel speedup.  See the simkern README.
+  /// Honest scope note: the figure-driver executors share cross-PE state
+  /// (workload RNG drawn in global arrival order, synchronous control-node
+  /// reads, global metrics folds), so a Cluster cannot be partitioned
+  /// without changing results — with >1 it runs as ONE logical shard group
+  /// on one thread, prints a one-time stderr note saying so, and stays
+  /// bit-identical to shards=1 (CI compares --shards=3 and --shards=4
+  /// CSVs against --shards=1).  Workloads written to the confinement
+  /// discipline do parallelize: the shard-confined engine
+  /// (engine/confined.h, bench ConfinedClusterHeavy) and the bench_simkern
+  /// Sharded* shapes run S calendars on S threads.  docs/sharding.md has
+  /// the full story.
   int shards = 1;
   TraceConfig trace;
   /// Fault injection and per-query deadlines (engine/faults.h).  Disabled

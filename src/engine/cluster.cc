@@ -4,6 +4,8 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdio>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -17,6 +19,41 @@
 #include "workload/arrivals.h"
 
 namespace pdblb {
+
+namespace {
+
+// Why this Cluster cannot be shard-confined (never null today: the figure
+// drivers' executors all share cross-PE state; listed for the day some of
+// them are confined and the answer starts depending on the config).
+const char* ShardConfinementBlocker(const SystemConfig& config) {
+  (void)config;
+  return "the figure-driver executors share cross-PE state (one workload "
+         "RNG drawn in global arrival order, synchronous control-node "
+         "reads at plan time, global metrics/deadlock accumulators)";
+}
+
+// Satellite of the --shards fix: a multi-shard request that cannot
+// parallelize must say so instead of silently running the one-group
+// windowed path.  Once per process — sweeps construct hundreds of
+// Clusters and the message is about the flag, not the point.  Emitted to
+// stderr directly (not PDBLB_LOG) so the default log level does not
+// swallow it; result tables and CSVs go to stdout, so output stays clean.
+void WarnShardFallbackOnce(const SystemConfig& config) {
+  static std::once_flag flag;
+  std::call_once(flag, [&config] {
+    std::fprintf(
+        stderr,
+        "pdblb: note: --shards=%d runs this driver on one scheduler "
+        "thread: %s.\n"
+        "pdblb: results are bit-identical to --shards=1 (CI-enforced); "
+        "the shard-confined engine (engine/confined.h, bench "
+        "ConfinedClusterHeavy) and the simkern bench shapes are what "
+        "parallelize today.  See docs/sharding.md.\n",
+        config.shards, ShardConfinementBlocker(config));
+  });
+}
+
+}  // namespace
 
 Cluster::Cluster(const SystemConfig& config)
     : config_(config), root_rng_(config.seed),
@@ -365,12 +402,20 @@ MetricsReport Cluster::Run() {
   SimTime measure_end = 0.0;
 
   // With config_.shards > 1 the run advances through the sharded kernel's
-  // conservative-window pacing (the wire time is the lookahead).  The
-  // executors are not shard-confined yet, so the whole cluster forms one
-  // logical shard group and the dispatch sequence — hence every metric and
-  // CSV byte — is identical to the single-queue path; see the SystemConfig
-  // field and the simkern README ("Sharded execution").
+  // conservative-window pacing (the wire time is the lookahead), but the
+  // whole cluster still forms ONE logical shard group: the figure drivers'
+  // executors violate the confinement discipline that genuine S-thread
+  // execution requires (docs/sharding.md) — one query coroutine draws from
+  // the shared workload RNG in global arrival order, reads control-node
+  // state synchronously at plan time, and folds into the global metrics
+  // accumulators — so partitioning them would change results, and the CI
+  // contract is that --shards never changes a CSV byte.  The confined
+  // protocol (request/handback messages over the mailbox band, control
+  // node as its own entity: engine/confined.h) is what actually runs S
+  // calendars on S threads; configs that cannot be confined fall back to
+  // this degenerate path and say so once, below.
   const SimTime lookahead = ShardLookaheadMs(config_.network);
+  if (config_.shards > 1) WarnShardFallbackOnce(config_);
   auto advance = [&](SimTime until) {
     if (config_.shards > 1) {
       sim::RunUntilWindowed(sched_, until, lookahead);

@@ -1,0 +1,406 @@
+// Copyright 2026 the pdblb authors. MIT license.
+
+#include "engine/confined.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <coroutine>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/relation.h"
+#include "iosim/disk.h"
+#include "netsim/shard_mailbox.h"
+#include "simkern/resource.h"
+#include "simkern/rng.h"
+#include "simkern/scheduler.h"
+#include "simkern/sharded.h"
+#include "simkern/task.h"
+#include "simkern/trace_ring.h"
+
+namespace pdblb {
+namespace {
+
+using sim::Resource;
+using sim::Rng;
+using sim::Scheduler;
+using sim::ShardedScheduler;
+using sim::Task;
+using sim::TraceSubsystem;
+using sim::TraceTag;
+
+// Control-plane message payloads (each fits one packet); tuples are the
+// paper's 100-byte records, so result messages packetize.
+constexpr int64_t kReportBytes = 64;
+constexpr int64_t kPlanRequestBytes = 128;
+constexpr int64_t kPlanReplyBytes = 128;
+constexpr int64_t kScanRequestBytes = 256;
+constexpr int64_t kReleaseBytes = 64;
+constexpr int64_t kAckBytes = 64;
+constexpr int64_t kTupleBytes = 100;
+
+// Everything in this struct is touched only from the owning PE's shard.
+struct ConfinedPe {
+  std::unique_ptr<Resource> cpu;
+  std::unique_ptr<DiskArray> disks;  // null with use_disks = false
+  Rng rng{0};
+  int64_t queries = 0;
+  double sum_rt = 0.0;
+  double max_rt = 0.0;
+  double done_at = 0.0;
+  int64_t reports_sent = 0;
+  double last_busy = 0.0;  // BusyIntegral at the previous report
+};
+
+// Touched only from the control entity's shard.
+struct ControlState {
+  std::unique_ptr<Resource> cpu;
+  std::vector<double> cpu_util;  // last reported utilization per PE
+  int64_t reports = 0;
+  int64_t plans = 0;
+};
+
+struct ConfinedSim {
+  const ConfinedClusterOptions* opt = nullptr;
+  ShardedScheduler* ss = nullptr;
+  ShardWire* wire = nullptr;
+  std::vector<ConfinedPe> pes;
+  ControlState control;
+  int control_entity = 0;
+  double mips = 0.0;
+
+  SimTime Ms(int64_t instructions) const {
+    return InstructionsToMs(instructions, mips);
+  }
+  // Endpoint CPU legs of a wire message, Network::Transfer's cost model:
+  // send/receive overhead plus one buffer copy per packet.
+  SimTime SendCost(int64_t bytes) const {
+    return Ms(opt->base.costs.send_message +
+              opt->base.costs.copy_message * wire->PacketsFor(bytes));
+  }
+  SimTime RecvCost(int64_t bytes) const {
+    return Ms(opt->base.costs.receive_message +
+              opt->base.costs.copy_message * wire->PacketsFor(bytes));
+  }
+};
+
+// Fan-in gate living in the coordinator coroutine's frame; every touch
+// (Arrive from reply handlers, Wait from the coordinator) happens on the
+// coordinator's shard, so no synchronization is needed.
+struct WakeGate {
+  explicit WakeGate(int n) : pending(n) {}
+  int pending;
+  std::coroutine_handle<> waiter;
+
+  auto Wait() {
+    struct Awaiter {
+      WakeGate* g;
+      bool await_ready() const noexcept { return g->pending == 0; }
+      void await_suspend(std::coroutine_handle<> h) noexcept { g->waiter = h; }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+  void Arrive() {
+    assert(pending > 0);
+    if (--pending == 0 && waiter) {
+      std::coroutine_handle<> h = waiter;
+      waiter = {};
+      h.resume();
+    }
+  }
+};
+
+// One-shot reply slot for the plan round trip (same shard discipline).
+struct PlanGate {
+  bool ready = false;
+  std::vector<int> plan;
+  std::coroutine_handle<> waiter;
+
+  auto Wait() {
+    struct Awaiter {
+      PlanGate* g;
+      bool await_ready() const noexcept { return g->ready; }
+      void await_suspend(std::coroutine_handle<> h) noexcept { g->waiter = h; }
+      std::vector<int> await_resume() noexcept { return std::move(g->plan); }
+    };
+    return Awaiter{this};
+  }
+  void Fulfill(std::vector<int> p) {
+    plan = std::move(p);
+    ready = true;
+    if (waiter) {
+      std::coroutine_handle<> h = waiter;
+      waiter = {};
+      h.resume();
+    }
+  }
+};
+
+// The paper's LEAST_UTILIZED placement over the control node's (possibly
+// stale — reports every control_report_interval_ms) view: the k least
+// CPU-utilized PEs other than the coordinator, ties by PE id.  Pure
+// function of control state, so deterministic and shard-count-invariant.
+std::vector<int> ChooseProcessors(const ConfinedSim& s, int coord) {
+  const int n = s.opt->num_pes;
+  const int k = std::min(s.opt->scan_processors, n - 1);
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&s](int a, int b) {
+    double ua = s.control.cpu_util[static_cast<size_t>(a)];
+    double ub = s.control.cpu_util[static_cast<size_t>(b)];
+    return ua != ub ? ua < ub : a < b;
+  });
+  std::vector<int> plan;
+  plan.reserve(static_cast<size_t>(k));
+  for (int pe : order) {
+    if (pe == coord) continue;
+    plan.push_back(pe);
+    if (static_cast<int>(plan.size()) == k) break;
+  }
+  return plan;
+}
+
+// Control entity: serve one placement request and ship the reply back.
+Task<> ServePlan(ConfinedSim& s, int coord, PlanGate* gate) {
+  const CpuCosts& costs = s.opt->base.costs;
+  ++s.control.plans;
+  // Scan of the per-PE view to rank candidates.
+  co_await s.control.cpu->Use(
+      s.Ms(costs.probe_hash_table * static_cast<int64_t>(s.opt->num_pes)));
+  std::vector<int> plan = ChooseProcessors(s, coord);
+  co_await s.control.cpu->Use(s.SendCost(kPlanReplyBytes));
+  s.wire->Deliver(s.control_entity, coord, kPlanReplyBytes,
+                  *s.pes[static_cast<size_t>(coord)].cpu,
+                  s.RecvCost(kPlanReplyBytes),
+                  [gate, plan]() mutable { gate->Fulfill(std::move(plan)); });
+}
+
+// Participant: read the local fragment, produce tuples, ship them back.
+// The coordinator's "remote disk read" is exactly this shape — a request
+// message, a local-only I/O on the owning shard, and a result handback.
+Task<> ScanFragment(ConfinedSim& s, int p, int coord, int64_t start_page,
+                    WakeGate* gate) {
+  const ConfinedClusterOptions& opt = *s.opt;
+  const CpuCosts& costs = opt.base.costs;
+  ConfinedPe& pe = s.pes[static_cast<size_t>(p)];
+  if (pe.disks && opt.pages_per_fragment > 0) {
+    co_await pe.disks->ReadStriped(PageKey{1, start_page},
+                                   opt.pages_per_fragment);
+  }
+  co_await pe.cpu->Use(s.Ms(opt.result_tuples *
+                            (costs.read_tuple + costs.write_output_tuple)));
+  const int64_t bytes = opt.result_tuples * kTupleBytes;
+  co_await pe.cpu->Use(s.SendCost(bytes));
+  s.wire->Deliver(p, coord, bytes, *s.pes[static_cast<size_t>(coord)].cpu,
+                  s.RecvCost(bytes), [gate] { gate->Arrive(); });
+}
+
+// Participant EOT leg: drop the fragment's share of the query (lock
+// release in the paper's model) and ack the coordinator.
+Task<> ReleaseFragment(ConfinedSim& s, int p, int coord, WakeGate* gate) {
+  const CpuCosts& costs = s.opt->base.costs;
+  ConfinedPe& pe = s.pes[static_cast<size_t>(p)];
+  co_await pe.cpu->Use(s.Ms(costs.terminate_txn / 4));
+  co_await pe.cpu->Use(s.SendCost(kAckBytes));
+  s.wire->Deliver(p, coord, kAckBytes, *s.pes[static_cast<size_t>(coord)].cpu,
+                  s.RecvCost(kAckBytes), [gate] { gate->Arrive(); });
+}
+
+// One closed-loop query slot on its coordinator PE.  The coroutine runs on
+// the coordinator's shard for its whole life; everything remote is a
+// message (plan round trip, scan fan-out/fan-in, release round) or a
+// RemoteUse request/handback.
+Task<> QuerySlot(ConfinedSim& s, int coord) {
+  const ConfinedClusterOptions& opt = *s.opt;
+  const CpuCosts& costs = opt.base.costs;
+  ConfinedPe& pe = s.pes[static_cast<size_t>(coord)];
+  Scheduler& sched = s.ss->home(coord);
+  for (int q = 0; q < opt.queries_per_slot; ++q) {
+    const SimTime start = sched.Now();
+    co_await pe.cpu->Use(s.Ms(costs.initiate_txn));
+
+    // Placement: request/reply round trip to the control entity.
+    PlanGate plan_gate;
+    co_await pe.cpu->Use(s.SendCost(kPlanRequestBytes));
+    s.wire->Deliver(coord, s.control_entity, kPlanRequestBytes,
+                    *s.control.cpu, s.RecvCost(kPlanRequestBytes),
+                    [&s, coord, gate = &plan_gate] {
+                      s.ss->home(s.control_entity)
+                          .Spawn(ServePlan(s, coord, gate));
+                    });
+    std::vector<int> procs = co_await plan_gate.Wait();
+    assert(!procs.empty());
+
+    // Catalog probe on the first participant: a remote CPU touch that in
+    // the unconfined engine would be a direct Use on that PE's resource —
+    // here it is the RemoteUse request/handback pair.
+    co_await sim::RemoteUse(*s.ss, coord, procs[0],
+                            *s.pes[static_cast<size_t>(procs[0])].cpu,
+                            s.Ms(costs.read_tuple * 4));
+
+    // Fragment placement draw from the coordinator's own stream.
+    const int64_t start_page = pe.rng.UniformInt(0, 1 << 20);
+
+    // Scan fan-out, then fan-in of the shipped result tuples.
+    WakeGate results(static_cast<int>(procs.size()));
+    for (int p : procs) {
+      co_await pe.cpu->Use(s.SendCost(kScanRequestBytes));
+      s.wire->Deliver(coord, p, kScanRequestBytes,
+                      *s.pes[static_cast<size_t>(p)].cpu,
+                      s.RecvCost(kScanRequestBytes),
+                      [&s, p, coord, start_page, gate = &results] {
+                        s.ss->home(p).Spawn(
+                            ScanFragment(s, p, coord, start_page, gate));
+                      });
+    }
+    co_await results.Wait();
+
+    // Merge/aggregate the shipped tuples locally.
+    co_await pe.cpu->Use(
+        s.Ms(static_cast<int64_t>(procs.size()) * opt.result_tuples *
+             costs.probe_hash_table));
+
+    // EOT: release round to every participant, then local termination.
+    WakeGate acks(static_cast<int>(procs.size()));
+    for (int p : procs) {
+      co_await pe.cpu->Use(s.SendCost(kReleaseBytes));
+      s.wire->Deliver(coord, p, kReleaseBytes,
+                      *s.pes[static_cast<size_t>(p)].cpu,
+                      s.RecvCost(kReleaseBytes),
+                      [&s, p, coord, gate = &acks] {
+                        s.ss->home(p).Spawn(
+                            ReleaseFragment(s, p, coord, gate));
+                      });
+    }
+    co_await acks.Wait();
+    co_await pe.cpu->Use(s.Ms(costs.terminate_txn));
+
+    const double rt = sched.Now() - start;
+    ++pe.queries;
+    pe.sum_rt += rt;
+    if (rt > pe.max_rt) pe.max_rt = rt;
+    pe.done_at = sched.Now();
+  }
+}
+
+// Stage-2 load reporting: the only path by which control state learns
+// about a PE.  The utilization is computed on the PE's own shard from its
+// own busy integral; only the finished number crosses the wire.
+Task<> ReportLoop(ConfinedSim& s, int pe_id) {
+  const ConfinedClusterOptions& opt = *s.opt;
+  ConfinedPe& pe = s.pes[static_cast<size_t>(pe_id)];
+  Scheduler& sched = s.ss->home(pe_id);
+  const SimTime interval = opt.base.control_report_interval_ms;
+  for (int r = 0; r < opt.report_rounds; ++r) {
+    co_await sched.Delay(interval,
+                         TraceTag(TraceSubsystem::kKernel,
+                                  static_cast<uint16_t>(pe_id)));
+    const double busy = pe.cpu->BusyIntegral();
+    const double util = (busy - pe.last_busy) / interval;
+    pe.last_busy = busy;
+    co_await pe.cpu->Use(s.SendCost(kReportBytes));
+    ++pe.reports_sent;
+    s.wire->Deliver(pe_id, s.control_entity, kReportBytes, *s.control.cpu,
+                    s.RecvCost(kReportBytes), [&s, pe_id, util] {
+                      s.control.cpu_util[static_cast<size_t>(pe_id)] = util;
+                      ++s.control.reports;
+                    });
+  }
+}
+
+}  // namespace
+
+ConfinedClusterReport RunConfinedCluster(
+    const ConfinedClusterOptions& options) {
+  assert(options.num_pes >= 2);
+  assert(options.scan_processors >= 1);
+  const int entities = options.num_pes + 1;  // + the control entity
+  assert(options.shards >= 1 && options.shards <= entities);
+
+  ShardedScheduler::Options so;
+  so.num_shards = options.shards;
+  so.num_entities = entities;
+  so.lookahead_ms = ShardLookaheadMs(options.base.network);
+  so.parallel = options.parallel;
+  ShardedScheduler ss(so);
+  ShardWire wire(ss, options.base.network);
+
+  ConfinedSim s;
+  s.opt = &options;
+  s.ss = &ss;
+  s.wire = &wire;
+  s.control_entity = options.num_pes;
+  s.mips = options.base.mips_per_pe;
+  s.pes.resize(static_cast<size_t>(options.num_pes));
+  for (int pe = 0; pe < options.num_pes; ++pe) {
+    Scheduler& home = ss.home(pe);
+    ConfinedPe& p = s.pes[static_cast<size_t>(pe)];
+    p.cpu = std::make_unique<Resource>(
+        home, 1, "cpu" + std::to_string(pe),
+        TraceTag(TraceSubsystem::kCpu, static_cast<uint16_t>(pe)));
+    if (options.use_disks) {
+      p.disks = std::make_unique<DiskArray>(
+          home, options.base.disk, options.base.costs, s.mips, *p.cpu,
+          "disk" + std::to_string(pe),
+          TraceTag(TraceSubsystem::kDisk, static_cast<uint16_t>(pe)));
+    }
+    p.rng = Rng(options.seed).Fork(1000 + static_cast<uint64_t>(pe));
+  }
+  s.control.cpu = std::make_unique<Resource>(
+      ss.home(s.control_entity), 1, "control",
+      TraceTag(TraceSubsystem::kCpu,
+               static_cast<uint16_t>(s.control_entity)));
+  s.control.cpu_util.assign(static_cast<size_t>(options.num_pes), 0.0);
+
+  if (options.instrument) options.instrument(ss);
+
+  // Spawn order is fixed (PE-ascending, slot-ascending) and runs on the
+  // setup thread regardless of the shard count, so the time-0 resource
+  // queue orders are partition-invariant.
+  for (int pe = 0; pe < options.num_pes; ++pe) {
+    for (int slot = 0; slot < options.mpl; ++slot) {
+      ss.home(pe).Spawn(QuerySlot(s, pe));
+    }
+    if (options.report_rounds > 0) ss.home(pe).Spawn(ReportLoop(s, pe));
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  ss.Run();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  ConfinedClusterReport report;
+  report.per_pe.resize(static_cast<size_t>(options.num_pes));
+  for (int pe = 0; pe < options.num_pes; ++pe) {
+    const ConfinedPe& p = s.pes[static_cast<size_t>(pe)];
+    ConfinedPeResult& r = report.per_pe[static_cast<size_t>(pe)];
+    r.queries = p.queries;
+    r.sum_response_ms = p.sum_rt;
+    r.max_response_ms = p.max_rt;
+    r.done_at_ms = p.done_at;
+    r.cpu_busy_ms = p.cpu->BusyIntegral();
+    r.cpu_completions = p.cpu->completed();
+    r.physical_reads = p.disks ? p.disks->physical_reads() : 0;
+    r.messages_sent = wire.messages_sent_by(pe);
+    r.reports_sent = p.reports_sent;
+  }
+  report.control_reports_received = s.control.reports;
+  report.control_plans_served = s.control.plans;
+  report.windows = ss.windows();
+  report.cross_shard_messages = ss.cross_shard_messages();
+  report.events = ss.events_processed();
+  double sim_time = 0.0;
+  for (int shard = 0; shard < ss.num_shards(); ++shard) {
+    sim_time = std::max(sim_time, ss.shard(shard).Now());
+  }
+  report.sim_time_ms = sim_time;
+  report.wall_seconds = wall.count();
+  return report;
+}
+
+}  // namespace pdblb

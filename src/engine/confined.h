@@ -1,0 +1,128 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Shard-confined cluster execution: the parallel counterpart of the
+// Cluster figure drivers, built so that an 80-PE run genuinely executes S
+// scheduler calendars on S threads (ROADMAP confinement plan, stages 1+2).
+//
+// Confinement discipline (docs/sharding.md has the full protocol):
+//
+//  * Every query coroutine is pinned to its coordinator PE's shard and
+//    touches only that PE's resources directly.  All cross-PE interaction
+//    is message-shaped: wire crossings ride ShardWire over the sharded
+//    kernel's mailbox band (request/handback pairs), remote CPU service is
+//    a sim::RemoteUse await, and the receiving endpoint's CPU leg is
+//    charged on the receiver's own shard (ShardWire::Deliver).
+//
+//  * The control node is its own entity (id = num_pes) on its own shard
+//    slot, fed by Post-ed load reports every control_report_interval_ms —
+//    four orders of magnitude above the 0.1 ms wire lookahead — and serves
+//    placement plans through a request/reply round trip.  No PE ever reads
+//    control state synchronously.
+//
+//  * Per-PE randomness comes from per-entity forks of the root seed and is
+//    drawn only on the owning shard; per-entity statistic cells are merged
+//    in entity-id order after Run().
+//
+// Under those rules the sharded kernel's message-band ordering makes every
+// per-entity result bit-identical for any shard count, serial or parallel
+// (tests/sharded_test.cc pins it across --shards=1/2/3/4/num_pes).  The
+// full figure drivers (engine/cluster.cc) do NOT satisfy the discipline —
+// they share RNG streams, metrics and control state across PEs — which is
+// exactly why they fall back to the degenerate windowed path and why this
+// subsystem exists as the confined execution target.
+
+#ifndef PDBLB_ENGINE_CONFINED_H_
+#define PDBLB_ENGINE_CONFINED_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/units.h"
+
+namespace pdblb {
+
+namespace sim {
+class ShardedScheduler;
+}  // namespace sim
+
+/// Workload shape for RunConfinedCluster: a closed-loop multiprogramming
+/// mix of scan/aggregate queries, each coordinated by its home PE with
+/// `scan_processors` remote participants chosen by the control node.
+struct ConfinedClusterOptions {
+  int num_pes = 80;
+  /// Scheduler shards (1..num_pes + 1; the +1 entity is the control node).
+  int shards = 1;
+  /// false: serial windowed execution (debug / determinism checks).
+  bool parallel = true;
+  /// Closed-loop query slots per PE (the paper's MPL knob).
+  int mpl = 4;
+  /// Queries each slot executes before retiring.
+  int queries_per_slot = 4;
+  /// Remote scan participants per query (control node picks the least
+  /// CPU-utilized alive PEs).
+  int scan_processors = 4;
+  /// Pages each participant reads from its local declustered fragment
+  /// (striped read; 0 with use_disks=false skips the I/O system).
+  int64_t pages_per_fragment = 16;
+  /// Tuples each participant ships back to the coordinator.
+  int64_t result_tuples = 512;
+  /// Load reports each PE sends to the control entity (one per
+  /// control_report_interval_ms; reporting also bounds the sim horizon).
+  int report_rounds = 8;
+  /// Attach a full per-PE DiskArray (controller + cache + spindles).
+  bool use_disks = true;
+  uint64_t seed = 42;
+  /// Costs, speeds, network and disk parameters, control report interval.
+  SystemConfig base;
+  /// Test hook, called after the sharded scheduler and entities are built
+  /// and before any work is spawned (e.g. to attach per-shard tracers).
+  std::function<void(sim::ShardedScheduler&)> instrument;
+};
+
+/// Per-PE outcome; every field is written only by the owning entity's
+/// shard (or derived from such cells) and is bit-identical across shard
+/// counts and serial/parallel execution.
+struct ConfinedPeResult {
+  int64_t queries = 0;
+  double sum_response_ms = 0.0;
+  double max_response_ms = 0.0;
+  double done_at_ms = 0.0;        ///< Last query completion on this PE.
+  double cpu_busy_ms = 0.0;       ///< CPU server busy integral.
+  uint64_t cpu_completions = 0;   ///< CPU service intervals completed.
+  int64_t physical_reads = 0;     ///< Data-disk page reads (0 w/o disks).
+  int64_t messages_sent = 0;      ///< ShardWire messages originated here.
+  int64_t reports_sent = 0;       ///< Load reports posted to control.
+
+  bool operator==(const ConfinedPeResult&) const = default;
+};
+
+struct ConfinedClusterReport {
+  std::vector<ConfinedPeResult> per_pe;  ///< Indexed by PE, entity order.
+  int64_t control_reports_received = 0;  ///< Load reports the control saw.
+  int64_t control_plans_served = 0;      ///< Placement round trips served.
+  uint64_t windows = 0;                  ///< Conservative windows executed.
+  uint64_t cross_shard_messages = 0;     ///< Mailbox-routed messages.
+  uint64_t events = 0;                   ///< Total dispatched events.
+  double sim_time_ms = 0.0;              ///< Max shard clock after Run().
+  double wall_seconds = 0.0;             ///< Host wall clock for Run().
+
+  /// The shard-count-invariant projection (everything except wall clock
+  /// and window/cross-shard transport counters).
+  bool SameSimulationAs(const ConfinedClusterReport& other) const {
+    return per_pe == other.per_pe &&
+           control_reports_received == other.control_reports_received &&
+           control_plans_served == other.control_plans_served &&
+           sim_time_ms == other.sim_time_ms;
+  }
+};
+
+/// Builds the confined cluster (num_pes PE entities + 1 control entity on
+/// a ShardedScheduler with `shards` calendars), runs the closed-loop
+/// workload to completion, and returns the merged report.
+ConfinedClusterReport RunConfinedCluster(const ConfinedClusterOptions& options);
+
+}  // namespace pdblb
+
+#endif  // PDBLB_ENGINE_CONFINED_H_

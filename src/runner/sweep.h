@@ -85,8 +85,9 @@ struct SweepOptions {
   /// When positive, overrides every point's config.shards: the number of
   /// scheduler shards for intra-simulation execution (the drivers' --shards
   /// flag), clamped per point to its num_pes.  Like --jobs, results are
-  /// bit-identical for every value — see SystemConfig::shards for why (and
-  /// for the current engine limitation).
+  /// bit-identical for every value — see SystemConfig::shards for the
+  /// honest scope (the figure drivers run one logical shard group; the
+  /// shard-confined engine lives in engine/confined.h, docs/sharding.md).
   int shards = 0;
 
   /// When non-empty, parsed as a fault spec (common/config.h

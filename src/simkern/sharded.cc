@@ -4,6 +4,7 @@
 
 #include <limits>
 
+#include "simkern/resource.h"
 #include "simkern/task.h"
 
 namespace pdblb::sim {
@@ -54,6 +55,12 @@ void ShardedScheduler::DrainMailboxes() {
       cross_shard_messages_ += box.size();
       Scheduler& target = *shards_[dst];
       for (Mail& mail : box.items()) {
+        // Lookahead contract, checked at the receiving end: a message sent
+        // inside window [m, m + L) must land at >= m + L.  See the
+        // declaration comment for why this exists alongside Post()'s
+        // sender-side assert.
+        assert(mail.at >= last_window_bound_ &&
+               "cross-shard message arrived inside the declared lookahead");
         target.ScheduleMessageCallback(mail.at, mail.seq, std::move(mail.fn));
       }
       box.Clear();
@@ -63,6 +70,10 @@ void ShardedScheduler::DrainMailboxes() {
 
 void ShardedScheduler::Run() {
   constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+  // Setup posts between Run() calls are only bound by the sender's clock,
+  // which may trail the previous Run's final window; exempt them from the
+  // drain-time window check.
+  last_window_bound_ = -kInf;
   for (;;) {
     // Barrier phase (coordinator only): deliver cross-shard messages, then
     // find the global minimum next event.  Any message sent during the
@@ -76,7 +87,8 @@ void ShardedScheduler::Run() {
     }
     if (m == kInf) break;
     ++windows_;
-    ExecuteWindow(m + lookahead_ms_);
+    last_window_bound_ = m + lookahead_ms_;
+    ExecuteWindow(last_window_bound_);
   }
 }
 
@@ -143,6 +155,41 @@ void ShardedScheduler::WorkerLoop(size_t shard_index) {
   // pin every shard's peak frame footprint until process exit — the same
   // discipline the sweep runner applies per finished point.
   TrimFrameArenaThreadCache();
+}
+
+namespace {
+
+// The owner-shard half of RemoteUse: queue for and hold the resource for
+// the full service interval (FCFS with the owner entity's local users),
+// then post the handback that resumes the caller on its own shard.
+Task<> RemoteServe(ShardedScheduler* sharded, int owner, int from,
+                   Resource* resource, SimTime service_ms,
+                   std::coroutine_handle<> caller) {
+  co_await resource->Use(service_ms);
+  sharded->Post(
+      owner, from, sharded->home(owner).Now() + sharded->lookahead_ms(),
+      [caller] { caller.resume(); },
+      TraceTag(TraceSubsystem::kNetwork, static_cast<uint16_t>(owner)));
+}
+
+}  // namespace
+
+void RemoteUseAwaiter::await_suspend(std::coroutine_handle<> h) {
+  // Copy the fields out: the request lambda outlives this awaiter object
+  // (it lives in `h`'s frame, which stays suspended, but keeping the
+  // lambda self-contained makes that independence explicit).
+  ShardedScheduler* sharded = sharded_;
+  int from = from_;
+  int owner = owner_;
+  Resource* resource = resource_;
+  SimTime service_ms = service_ms_;
+  sharded->Post(
+      from, owner, sharded->home(from).Now() + sharded->lookahead_ms(),
+      [sharded, owner, from, resource, service_ms, h] {
+        sharded->home(owner).Spawn(
+            RemoteServe(sharded, owner, from, resource, service_ms, h));
+      },
+      TraceTag(TraceSubsystem::kNetwork, static_cast<uint16_t>(from)));
 }
 
 void RunUntilWindowed(Scheduler& sched, SimTime until, SimTime lookahead_ms) {

@@ -56,9 +56,11 @@
 
 #include <cassert>
 #include <condition_variable>
+#include <coroutine>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -69,6 +71,8 @@
 #include "simkern/scheduler.h"
 
 namespace pdblb::sim {
+
+class Resource;
 
 /// Phase-separated single-producer/single-consumer mailbox for one
 /// (source shard, destination shard) pair.  The producer is the source
@@ -207,7 +211,14 @@ class ShardedScheduler {
 
   // Coordinator-only: injects every pending mailbox message into its
   // destination calendar.  Injection order is irrelevant — the message-band
-  // key is total — but the injection itself is single-threaded.
+  // key is total — but the injection itself is single-threaded.  Debug
+  // builds assert here that every drained message lands at or after the
+  // bound of the window it was sent in: Post() already checks the per-send
+  // contract against the *sender's* clock, and this second check catches
+  // anything that would erode an in-flight delay below the lookahead after
+  // the send (no such path exists today; a future fault-domain interaction
+  // — say a slowlink edge rewriting wire times — must not introduce one
+  // undetected).
   void DrainMailboxes();
   // Runs every shard's RunBefore(bound), on the worker pool or serially.
   void ExecuteWindow(SimTime bound);
@@ -225,6 +236,12 @@ class ShardedScheduler {
   std::vector<PaddedCounter> next_ordinal_;  // per entity
   uint64_t windows_ = 0;
   uint64_t cross_shard_messages_ = 0;
+  // Bound of the most recently executed window within the current Run()
+  // call; the DrainMailboxes lookahead-contract assertion compares drained
+  // arrival times against it.  Reset at the top of Run() because setup
+  // work posted between Run() calls is checked against the sender's clock
+  // only (shard clocks may trail the last window bound arbitrarily).
+  SimTime last_window_bound_ = -std::numeric_limits<SimTime>::infinity();
 
   // Worker pool: shard 0 runs on the coordinator (calling) thread, shard s
   // on workers_[s - 1].  A shard is always executed by the same thread;
@@ -239,6 +256,60 @@ class ShardedScheduler {
   int running_ = 0;
   bool stop_ = false;
 };
+
+/// Awaitable remote-service request: the message-shaped replacement for a
+/// direct `co_await resource.Use(...)` on another entity's resource, which
+/// a shard-confined coroutine must never do (the resource may live on a
+/// different shard's calendar and thread).
+///
+/// Protocol (both legs ride the message band, so the result is
+/// shard-count-invariant like any other Post):
+///
+///   caller (entity `from`, suspended)
+///     --[request, +lookahead]--> owner's shard spawns a serve coroutine
+///                                that queues for and holds `resource` for
+///                                `service_ms` (FCFS with the owner's local
+///                                users)
+///     <--[handback, +lookahead]-- caller resumes on its own shard
+///
+/// Total latency: 2 x lookahead + remote queueing + service.  The two
+/// lookahead legs model the request/reply wire crossings; callers that
+/// want the full netsim packet cost should charge their own endpoint CPU
+/// around the await (see netsim/shard_mailbox.h).
+///
+/// Not cancellation-safe: the handback resumes the caller's handle
+/// directly, so the caller's frame must stay alive until the handback
+/// lands (do not Cancel() a process suspended in RemoteUse).
+class RemoteUseAwaiter {
+ public:
+  RemoteUseAwaiter(ShardedScheduler& sharded, int from, int owner,
+                   Resource& resource, SimTime service_ms)
+      : sharded_(&sharded),
+        from_(from),
+        owner_(owner),
+        resource_(&resource),
+        service_ms_(service_ms) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+
+ private:
+  ShardedScheduler* sharded_;
+  int from_;
+  int owner_;
+  Resource* resource_;
+  SimTime service_ms_;
+};
+
+/// `co_await RemoteUse(ss, from, owner, res, ms)` — see RemoteUseAwaiter.
+/// `resource` must live on `owner`'s home shard; the caller must be
+/// executing on `from`'s home shard.
+inline RemoteUseAwaiter RemoteUse(ShardedScheduler& sharded, int from,
+                                  int owner, Resource& resource,
+                                  SimTime service_ms) {
+  return RemoteUseAwaiter(sharded, from, owner, resource, service_ms);
+}
 
 /// Drives a single Scheduler to `until` through the sharded window pacing
 /// (repeated RunBefore(next event + lookahead) slices): the degenerate

@@ -223,6 +223,43 @@ TEST(FaultTest, GrayFailureSpecParsingRoundTrips) {
       << "unknown kinds must be rejected, not skipped";
 }
 
+// Satellite: duplicate scripted clauses — same kind, instant and target —
+// used to be accepted with silent last-wins ordering; they must now fail
+// eagerly like every other malformed spec.  Distinct kinds at the same
+// (time, PE) stay legal: that is the spec-order bounce
+// SameTimestampEventsApplyInSpecOrder pins.
+TEST(FaultTest, DuplicateScriptedClausesAreRejected) {
+  FaultConfig sink;
+  EXPECT_FALSE(
+      ParseFaultSpec("crash@3000:pe2;crash@3000:pe2", &sink).ok())
+      << "verbatim repeat must be rejected";
+  EXPECT_FALSE(
+      ParseFaultSpec("slowdisk@2000:pe1:x3;slowdisk@2000:pe1:x5", &sink).ok())
+      << "same event with a different factor is the silent last-wins case";
+  EXPECT_FALSE(
+      ParseFaultSpec("slowlink@2000:pe4-pe5:x2;slowlink@2000:pe4-pe5:x3",
+                     &sink)
+          .ok())
+      << "link clauses dedupe on both endpoints";
+
+  FaultConfig ok;
+  EXPECT_TRUE(
+      ParseFaultSpec("crash@3000:pe2;recover@3000:pe2", &ok).ok())
+      << "distinct kinds at one (time, PE) are a legitimate bounce";
+  FaultConfig ok2;
+  EXPECT_TRUE(ParseFaultSpec("crash@3000:pe2;crash@3000:pe3", &ok2).ok())
+      << "same instant, different PE";
+  FaultConfig ok3;
+  EXPECT_TRUE(ParseFaultSpec("crash@3000:pe2;crash@4000:pe2", &ok3).ok())
+      << "same PE, different instant";
+  FaultConfig ok4;
+  EXPECT_TRUE(
+      ParseFaultSpec("slowlink@2000:pe4-pe5:x2;slowlink@2000:pe4-pe6:x2",
+                     &ok4)
+          .ok())
+      << "different far endpoint is a different link";
+}
+
 // Satellite: fault-event edge timing.  A crash scheduled at t=0 takes the PE
 // down before the first arrival and the run still terminates cleanly.
 TEST(FaultTest, CrashAtTimeZeroIsAppliedBeforeArrivals) {
