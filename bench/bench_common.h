@@ -25,6 +25,9 @@
 //                       bit-identical across --jobs/--shards with faults on
 //   --query-timeout-ms=T  give every query a T-ms deadline (0 disables);
 //                       overrides the per-point and --faults timeout
+//   --migration-bw=MB   cap elastic fragment migration at MB MB/s per
+//                       active move (only observable when --faults schedules
+//                       addpe/drainpe clauses; see docs/robustness.md)
 //   --eviction=POLICY   override every point's buffer replacement policy
 //                       (lru | lru-k | lfu | clock; see docs/bufmgr.md)
 //   --fast              shrink warm-up/measurement (quick smoke runs)
@@ -90,6 +93,7 @@ struct BenchOptions {
   std::string csv_path;     // empty: no CSV
   std::string fault_spec;   // empty: no fault override (--faults=SPEC)
   double query_timeout_ms = -1.0;  // < 0: keep per-point configuration
+  double migration_bw_mbps = -1.0;  // <= 0: keep per-point configuration
   std::string eviction;     // empty: keep per-point policy (--eviction=P)
   std::string filter;       // empty: whole grid
   std::string report_json;  // empty: no sweep-throughput report
@@ -190,6 +194,14 @@ inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
         return 2;
       }
       opts.query_timeout_ms = timeout;
+    } else if (const char* v = value_of(arg, "--migration-bw")) {
+      char* end = nullptr;
+      double bw = std::strtod(v, &end);
+      if (end == v || *end != '\0' || bw <= 0.0) {
+        std::fprintf(stderr, "invalid --migration-bw value: %s\n", v);
+        return 2;
+      }
+      opts.migration_bw_mbps = bw;
     } else if (const char* v = value_of(arg, "--filter")) {
       opts.filter = v;
     } else if (const char* v = value_of(arg, "--report-json")) {
@@ -207,6 +219,7 @@ inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
       std::fprintf(stderr,
                    "usage: %s [--jobs=N] [--shards=S] [--csv=PATH] "
                    "[--faults=SPEC] [--query-timeout-ms=T] "
+                   "[--migration-bw=MB] "
                    "[--eviction=lru|lru-k|lfu|clock] "
                    "[--filter=SUBSTR] [--seed=S] [--fast] [--list] [--quiet] "
                    "[--report-json=PATH] [--trace=PATH]\n"
@@ -223,7 +236,40 @@ inline int ParseBenchArgs(int argc, char** argv, BenchOptions& opts) {
                    "parallelize: the confined\n"
                    "              engine (bench_simkern ConfinedCluster*) "
                    "and the Sharded* kernel\n"
-                   "              shapes.  See docs/sharding.md.\n",
+                   "              shapes.  See docs/sharding.md.\n"
+                   "\n"
+                   "--faults=SPEC clause grammar (clauses joined by ';', "
+                   "parse errors quote the\n"
+                   "offending clause and its byte offset; docs/robustness.md "
+                   "has the semantics):\n"
+                   "\n"
+                   "  clause                          effect\n"
+                   "  ------------------------------  ------------------------"
+                   "--------------------\n"
+                   "  crash@<ms>:pe<N>                crash PE N at <ms>\n"
+                   "  recover@<ms>:pe<N>              recover PE N at <ms>\n"
+                   "  slowdisk@<ms>:pe<N>:x<M>        multiply PE N's disk "
+                   "service by M (>=1)\n"
+                   "  partition@<ms>:pe<A>-pe<B>      cut the A<->B link\n"
+                   "  heal@<ms>:pe<A>-pe<B>           restore the A<->B link\n"
+                   "  slowlink@<ms>:pe<A>-pe<B>:x<M>  multiply the A<->B wire "
+                   "delay by M (>=1)\n"
+                   "  addpe@<ms>:pe<N>                elastic resize: spare "
+                   "PE N joins at <ms>\n"
+                   "  drainpe@<ms>:pe<N>              elastic resize: migrate "
+                   "PE N out, then leave\n"
+                   "  rate=<r>                        random crashes per PE "
+                   "per minute\n"
+                   "  mttr=<ms>                       mean time to repair for "
+                   "random crashes\n"
+                   "  timeout=<ms>                    per-query deadline (0 "
+                   "disables)\n"
+                   "  timeout_frac=<f>                fraction of queries "
+                   "carrying the deadline\n"
+                   "  retries=<n>                     retry budget per query "
+                   "(RetryPolicy)\n"
+                   "  iorate=<r>                      transient disk error "
+                   "probability per access\n",
                    argv[0]);
       return 0;
     } else {
@@ -307,6 +353,41 @@ inline void PrintRobustnessTable(
   std::fputs(t.ToString().c_str(), stdout);
 }
 
+/// True when any point performed an elastic resize (membership change or
+/// fragment migration).  Gates the elasticity table and JSON block so
+/// resize-free output stays byte-identical.
+inline bool AnyElasticActivity(
+    const std::vector<runner::SweepResult>& results) {
+  for (const runner::SweepResult& res : results) {
+    const MetricsReport& r = res.report;
+    if (r.pes_added > 0 || r.pes_drained > 0 || r.fragments_migrated > 0 ||
+        r.migration_pages_discarded > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Prints the elasticity table (stdout): per-point membership changes and
+/// migration volume.  Printed only when some point resized.
+inline void PrintElasticityTable(
+    const Figure& fig, const std::vector<runner::SweepResult>& results) {
+  if (!AnyElasticActivity(results)) return;
+  std::printf("\n=== elasticity (%s) ===\n", fig.title().c_str());
+  TextTable t({fig.x_name(), "strategy", "added", "drained", "frags",
+               "pages", "discarded", "replans"});
+  for (const runner::SweepResult& res : results) {
+    const MetricsReport& r = res.report;
+    t.AddRow({res.point.x_label, res.point.series,
+              std::to_string(r.pes_added), std::to_string(r.pes_drained),
+              std::to_string(r.fragments_migrated),
+              std::to_string(r.migration_pages_moved),
+              std::to_string(r.migration_pages_discarded),
+              std::to_string(r.migrations_replanned)});
+  }
+  std::fputs(t.ToString().c_str(), stdout);
+}
+
 /// Per-subsystem attribution summed over all points of a sweep (zeros when
 /// tracing was off or compiled out).
 struct TraceTotals {
@@ -378,6 +459,7 @@ inline int FigureMain(Figure& fig, const BenchOptions& opts) {
   run_opts.root_seed = opts.seed;
   run_opts.fault_spec = opts.fault_spec;
   run_opts.query_timeout_ms = opts.query_timeout_ms;
+  run_opts.migration_bw_mbps = opts.migration_bw_mbps;
   run_opts.eviction = opts.eviction;
   run_opts.trace_path = opts.trace_path;
   if (!opts.quiet) {
@@ -398,6 +480,7 @@ inline int FigureMain(Figure& fig, const BenchOptions& opts) {
 
   PrintFigureTable(fig, results);
   PrintRobustnessTable(fig, results);
+  PrintElasticityTable(fig, results);
   TraceTotals trace_totals = SumTraceTotals(results);
   PrintTraceAttribution(trace_totals);
   std::printf("\n%zu points in %.1f s with --jobs=%d (%.1f points/min)\n",
@@ -466,6 +549,30 @@ inline int FigureMain(Figure& fig, const BenchOptions& opts) {
             static_cast<long long>(r.io_retries),
             static_cast<long long>(r.link_partitions), r.slow_disk_ms,
             static_cast<long long>(r.pe_crashes));
+      }
+      std::fprintf(f, "]");
+    }
+    if (AnyElasticActivity(results)) {
+      // Per-point membership changes and migration volume
+      // (seed-deterministic); omitted for resize-free sweeps so historical
+      // artifacts don't change.
+      std::fprintf(f, ", \"elasticity\": [");
+      for (size_t i = 0; i < results.size(); ++i) {
+        const MetricsReport& r = results[i].report;
+        std::fprintf(
+            f,
+            "%s{\"point\": \"%s\", \"pes_added\": %lld, "
+            "\"pes_drained\": %lld, \"fragments_migrated\": %lld, "
+            "\"migration_pages_moved\": %lld, "
+            "\"migration_pages_discarded\": %lld, "
+            "\"migrations_replanned\": %lld}",
+            i == 0 ? "" : ", ", results[i].point.name.c_str(),
+            static_cast<long long>(r.pes_added),
+            static_cast<long long>(r.pes_drained),
+            static_cast<long long>(r.fragments_migrated),
+            static_cast<long long>(r.migration_pages_moved),
+            static_cast<long long>(r.migration_pages_discarded),
+            static_cast<long long>(r.migrations_replanned));
       }
       std::fprintf(f, "]");
     }

@@ -1,0 +1,106 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Elastic resize harness: online PE add/drain with deterministic fragment
+// migration (engine/elastic.h), sweeping migration bandwidth against the
+// resize scenario and the multiprogramming level.  Scenarios:
+//
+//   * grow+1   a spare PE joins at t=2.0s and fills from the established
+//              members (addpe@2000:pe8)
+//   * grow+2   two spares join back to back (t=2.0s / t=2.5s)
+//   * drain-1  a member drains at t=2.0s: its fragments migrate out, then
+//              it leaves the membership
+//   * swap     a spare joins at t=2.0s and a member drains at t=2.5s — the
+//              steady-state member count is unchanged but every fragment of
+//              the drained PE crosses the wire
+//
+// Every membership event lands inside the measurement window of both the
+// fast (6.5 s) and the normal (24 s) horizon, so --fast changes only the
+// statistics, never which scenarios resize.  Migration traffic competes
+// with query traffic for the interconnect (netsim bulk transfers), and the
+// per-move bandwidth cap is the x axis: low bandwidth stretches the
+// migration window (fragments_migrated lands late, queries keep routing to
+// the old owner longer), high bandwidth concentrates the disturbance.
+// Relations are scaled down ~12x from the paper defaults and the migration
+// batch sized to keep the 10-disk donor array busy: on the paper's 20 MIPS
+// PEs a migration batch pays real controller, wire and endpoint-CPU time,
+// and at full scale a fragment copy outlives the horizon.  At this scale
+// the migrations complete inside the measurement window and the bandwidth
+// cap — not donor-side latency — binds at the low end of the sweep.
+//
+// What to look for: migration_pages_moved is invariant across bandwidth
+// (the same fragments move, just slower), pes_added/pes_drained match the
+// scenario, and join RT degrades only transiently around the resize.  The
+// sweep is a pure function of --seed: the CSV is bit-identical across
+// --jobs/--shards and reruns (CI-enforced), like the chaos harness.
+//
+// Run with --report-json=BENCH_elastic.json for the CI artifact.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace pdblb;
+using bench::ApplyHorizon;
+
+struct Scenario {
+  const char* name;
+  int num_pes;  // members + held-out spares (addpe targets)
+  std::vector<FaultEvent> events;
+};
+
+void Setup(bench::Figure& fig) {
+  fig.SetTitle(
+      "Elastic — online PE add/drain vs. migration bandwidth (8 member PE)",
+      "mig BW [MB/s]");
+
+  // 8 established members everywhere; pe8/pe9 are spares where present.
+  // drain targets pe7 (a B-node for every num_pes used here), keeping both
+  // home groups covered.
+  const std::vector<Scenario> scenarios = {
+      {"grow+1", 9, {{2000.0, FaultKind::kAddPe, 8}}},
+      {"grow+2",
+       10,
+       {{2000.0, FaultKind::kAddPe, 8}, {2500.0, FaultKind::kAddPe, 9}}},
+      {"drain-1", 8, {{2000.0, FaultKind::kDrainPe, 7}}},
+      {"swap",
+       9,
+       {{2000.0, FaultKind::kAddPe, 8}, {2500.0, FaultKind::kDrainPe, 7}}},
+  };
+  const std::vector<double> bandwidths =
+      bench::FastMode() ? std::vector<double>{8.0, 64.0}
+                        : std::vector<double>{4.0, 16.0, 64.0};
+  // ~0.5 ms/page disk floor at batch 64; the 4 MB/s cap sits at 2 ms/page,
+  // so the low-bandwidth points are genuinely throttle-bound.
+  const int batch_pages = 64;
+  const std::vector<int> mpls =
+      bench::FastMode() ? std::vector<int>{2} : std::vector<int>{2, 4};
+
+  for (const Scenario& sc : scenarios) {
+    if (bench::FastMode() && std::string(sc.name) == "grow+2") continue;
+    for (int mpl : mpls) {
+      for (double bw : bandwidths) {
+        SystemConfig cfg;
+        cfg.num_pes = sc.num_pes;
+        cfg.strategy = strategies::PsuOptLUM();
+        cfg.multiprogramming_level = mpl;
+        ApplyHorizon(cfg);
+        cfg.relation_a.num_tuples = 20000;
+        cfg.relation_b.num_tuples = 60000;
+        cfg.relation_c.num_tuples = 40000;
+        cfg.faults.events = sc.events;
+        cfg.elastic.migration_bw_mbps = bw;
+        cfg.elastic.migration_batch_pages = batch_pages;
+
+        std::string series =
+            std::string(sc.name) + "/mpl" + std::to_string(mpl);
+        fig.AddPoint("elastic/" + series + "/bw" +
+                         std::to_string(static_cast<int>(bw)),
+                     cfg, series, bw, std::to_string(static_cast<int>(bw)));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PDBLB_BENCH_MAIN(Setup)

@@ -336,6 +336,31 @@ void BufferManager::ReleaseReservation(int pages) {
   ServeMemoryQueue();
 }
 
+sim::Task<> BufferManager::IngestBatch(PageKey first, int count) {
+  assert(count >= 1);
+  // Stage through a reservation no larger than the pool so the request is
+  // always grantable; migration waits FCFS behind queued joins like any
+  // other working-space customer.
+  const int staging = std::min(count, capacity());
+  int granted = co_await ReserveWait(staging, staging);
+  // The guard releases the staging frames when the frame dies — normal
+  // completion or cancellation mid-write (crash unwind); at full scheduler
+  // teardown the manager may already be gone, so it must not be touched.
+  struct StagingGuard {
+    sim::Scheduler* sched;
+    BufferManager* mgr;
+    int pages;
+    ~StagingGuard() {
+      if (sched->tearing_down()) return;
+      mgr->ReleaseReservation(pages);
+    }
+  } guard{&sched_, this, granted};
+  co_await disks_.WriteBatch(first, count);
+  // The pages are durable on the destination's disks but deliberately not
+  // Admit()ed: cold bulk data must not displace the hot set.
+  pages_ingested_ += count;
+}
+
 void BufferManager::OnCrash() {
   // Cancellation of the resident queries must have unwound every
   // reservation, queued waiter and victim registration first; a crash that

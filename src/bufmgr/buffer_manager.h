@@ -105,6 +105,18 @@ class BufferManager {
   void RegisterVictim(MemoryVictim* victim);
   void UnregisterVictim(MemoryVictim* victim);
 
+  // --- migration ingest (engine/elastic.h) ---------------------------------
+
+  /// Destination-side ingest of one fragment-migration batch: stages the
+  /// incoming pages through a working-space reservation (so migration
+  /// competes FCFS with joins for frames instead of bypassing memory
+  /// pressure) and writes them to this PE's disks.  The pages are never
+  /// admitted to the page buffer — bulk-loaded cold data must not displace
+  /// the hot set or perturb eviction state.  The staging reservation is
+  /// released on every exit path, including cancellation mid-write (crash
+  /// unwind discards the partial batch at the caller).
+  sim::Task<> IngestBatch(PageKey first, int count);
+
   // --- fault injection ------------------------------------------------------
 
   /// Models a PE crash: volatile state is lost — the resident set is wiped
@@ -147,6 +159,9 @@ class BufferManager {
   int64_t pages_stolen() const { return pages_stolen_; }
   int64_t dirty_writebacks() const { return dirty_writebacks_; }
   int64_t evictions() const { return evictions_; }
+  /// Migration pages durably ingested via IngestBatch (completed batches
+  /// only; a cancelled batch never counts).
+  int64_t pages_ingested() const { return pages_ingested_; }
   /// The page most recently evicted (valid once evictions() > 0); lets the
   /// model-based policy tests check victim identity, not just counts.
   PageKey last_evicted() const { return last_evicted_; }
@@ -215,6 +230,7 @@ class BufferManager {
   int64_t pages_stolen_ = 0;
   int64_t dirty_writebacks_ = 0;
   int64_t evictions_ = 0;
+  int64_t pages_ingested_ = 0;
   PageKey last_evicted_{0, 0};
 };
 

@@ -3,15 +3,32 @@
 #include "catalog/database.h"
 
 #include <cassert>
+#include <set>
 
 namespace pdblb {
 
 Database::Database(const SystemConfig& config) : num_pes_(config.num_pes) {
-  int num_a = config.NumANodes();
-  for (PeId pe = 0; pe < num_a; ++pe) a_nodes_.push_back(pe);
-  for (PeId pe = num_a; pe < config.num_pes; ++pe) b_nodes_.push_back(pe);
+  // Elastic spares — PEs named as addpe targets — are held out of the
+  // initial declustering entirely: no relation homes there, no OLTP
+  // placement.  They start as non-members and receive fragments only
+  // through migration once their addpe event fires.  Without elastic
+  // events the set is empty and the geometry is the historical one.
+  std::set<PeId> spares;
+  for (const FaultEvent& ev : config.faults.events) {
+    if (ev.kind == FaultKind::kAddPe) spares.insert(ev.pe);
+  }
 
-  for (PeId pe = 0; pe < config.num_pes; ++pe) all_nodes_.push_back(pe);
+  int num_a = config.NumANodes();
+  for (PeId pe = 0; pe < num_a; ++pe) {
+    if (spares.count(pe) == 0) a_nodes_.push_back(pe);
+  }
+  for (PeId pe = num_a; pe < config.num_pes; ++pe) {
+    if (spares.count(pe) == 0) b_nodes_.push_back(pe);
+  }
+  for (PeId pe = 0; pe < config.num_pes; ++pe) {
+    if (spares.count(pe) == 0) all_nodes_.push_back(pe);
+  }
+  spare_nodes_.assign(spares.begin(), spares.end());
 
   a_ = std::make_unique<Relation>(kRelationA, config.relation_a, a_nodes_);
   b_ = std::make_unique<Relation>(kRelationB, config.relation_b, b_nodes_);
@@ -27,7 +44,7 @@ Database::Database(const SystemConfig& config) : num_pes_(config.num_pes) {
         oltp_nodes_ = b_nodes_;
         break;
       case OltpPlacement::kAllNodes:
-        for (PeId pe = 0; pe < config.num_pes; ++pe) oltp_nodes_.push_back(pe);
+        oltp_nodes_ = all_nodes_;  // members only; spares never host OLTP
         break;
     }
     for (PeId pe : oltp_nodes_) {

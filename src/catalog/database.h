@@ -36,9 +36,14 @@ class Database {
   const Relation& c() const { return *c_; }
 
   /// PEs holding fragments of A (the first 20%) and of B (the rest).
+  /// Elastic spares (addpe targets) are excluded from all three sets.
   const std::vector<PeId>& a_nodes() const { return a_nodes_; }
   const std::vector<PeId>& b_nodes() const { return b_nodes_; }
   const std::vector<PeId>& all_nodes() const { return all_nodes_; }
+
+  /// Elastic spare PEs (addpe targets): initially non-members holding no
+  /// fragment homes.  Empty without elastic events.
+  const std::vector<PeId>& spare_nodes() const { return spare_nodes_; }
 
   /// Resolves a query class's target relation.
   const Relation& target(TargetRelation t) const;
@@ -61,6 +66,7 @@ class Database {
   std::vector<PeId> a_nodes_;
   std::vector<PeId> b_nodes_;
   std::vector<PeId> all_nodes_;
+  std::vector<PeId> spare_nodes_;
   std::vector<PeId> oltp_nodes_;
   std::vector<std::unique_ptr<Relation>> oltp_relations_;  // index by PE
 };

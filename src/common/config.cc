@@ -190,6 +190,97 @@ Status SystemConfig::Validate() const {
       return Status::InvalidArgument("faults.events: factor must be >= 1");
     }
   }
+  if (faults.ElasticEnabled()) {
+    if (architecture != Architecture::kSharedNothing) {
+      return Status::InvalidArgument(
+          "addpe/drainpe events require Shared Nothing (fragment ownership "
+          "is meaningless when every PE reaches every spindle)");
+    }
+    if (elastic.migration_bw_mbps <= 0.0) {
+      return Status::InvalidArgument("elastic.migration_bw_mbps must be > 0");
+    }
+    if (elastic.migration_batch_pages < 1) {
+      return Status::InvalidArgument(
+          "elastic.migration_batch_pages must be >= 1");
+    }
+    // Spares = addpe targets; they are held out of the initial declustering
+    // (catalog/database.cc), so the remaining members must still cover both
+    // relation home groups and every PE joins at most once.
+    std::set<int> spares;
+    for (const FaultEvent& ev : faults.events) {
+      if (ev.kind != FaultKind::kAddPe) continue;
+      if (!spares.insert(ev.pe).second) {
+        return Status::InvalidArgument(
+            "faults.events: a PE may be the target of at most one addpe");
+      }
+    }
+    int a_members = 0;
+    int b_members = 0;
+    for (int pe = 0; pe < num_pes; ++pe) {
+      if (spares.count(pe) != 0) continue;
+      if (pe < NumANodes()) {
+        ++a_members;
+      } else {
+        ++b_members;
+      }
+    }
+    if (a_members < 1 || b_members < 1) {
+      return Status::InvalidArgument(
+          "faults.events: addpe spares must leave at least one member "
+          "A-node and one member B-node in the initial declustering");
+    }
+    // Membership timeline: drains of a spare need the add to come first,
+    // and the member count must never fall below 2 (queries need a
+    // coordinator and at least one distinct processor).
+    std::vector<const FaultEvent*> membership;
+    for (const FaultEvent& ev : faults.events) {
+      if (ev.kind == FaultKind::kAddPe || ev.kind == FaultKind::kDrainPe) {
+        membership.push_back(&ev);
+      }
+    }
+    std::stable_sort(membership.begin(), membership.end(),
+                     [](const FaultEvent* a, const FaultEvent* b) {
+                       return a->at_ms < b->at_ms;
+                     });
+    std::set<int> members;
+    for (int pe = 0; pe < num_pes; ++pe) {
+      if (spares.count(pe) == 0) members.insert(pe);
+    }
+    for (const FaultEvent* ev : membership) {
+      if (ev->kind == FaultKind::kAddPe) {
+        members.insert(ev->pe);
+        continue;
+      }
+      if (members.erase(ev->pe) == 0) {
+        return Status::InvalidArgument(
+            "faults.events: drainpe target is not a member at that time "
+            "(a spare must be added before it can drain)");
+      }
+      if (members.size() < 2) {
+        return Status::InvalidArgument(
+            "faults.events: drainpe would leave fewer than 2 members");
+      }
+    }
+    if (oltp.enabled) {
+      // OLTP relations are node-private and never migrate, so draining an
+      // OLTP node would strand its fragment.  OLTP placement is computed
+      // over the initial (non-spare) membership.
+      for (const FaultEvent& ev : faults.events) {
+        if (ev.kind != FaultKind::kDrainPe) continue;
+        if (spares.count(ev.pe) != 0) continue;  // spares never host OLTP
+        const bool is_a_node = ev.pe < NumANodes();
+        const bool hosts_oltp =
+            oltp.placement == OltpPlacement::kAllNodes ||
+            (oltp.placement == OltpPlacement::kANodes && is_a_node) ||
+            (oltp.placement == OltpPlacement::kBNodes && !is_a_node);
+        if (hosts_oltp) {
+          return Status::InvalidArgument(
+              "faults.events: cannot drain an OLTP node (its node-private "
+              "OLTP relation does not migrate)");
+        }
+      }
+    }
+  }
   if (faults.crash_rate_per_pe_per_min < 0.0) {
     return Status::InvalidArgument(
         "faults.crash_rate_per_pe_per_min must be >= 0");
@@ -270,15 +361,27 @@ bool ParsePeToken(const std::string& token, int* pe) {
   }
 }
 
+// Formats a fault-spec error so the offending clause can be found without
+// counting semicolons: the clause is quoted verbatim and `offset` names its
+// starting byte within the full spec string.
+Status ClauseError(const std::string& what, const std::string& clause,
+                   size_t offset) {
+  return Status::InvalidArgument("fault spec: " + what + " in clause \"" +
+                                 clause + "\" (byte " +
+                                 std::to_string(offset) + ")");
+}
+
 // Splits a scheduled clause — "crash@8000:pe3", "slowdisk@8000:pe3:x4",
-// "partition@8000:pe1-pe2", "slowlink@8000:pe1-pe2:x3" — into `ev`.  The
-// shape after '@' is <ms>:<endpoint>[:x<M>]; link kinds take a pe<A>-pe<B>
-// endpoint pair, multiplier kinds require the trailing :x<M> factor.
-Status ParseScheduledClause(const std::string& clause, FaultEvent* ev) {
+// "partition@8000:pe1-pe2", "slowlink@8000:pe1-pe2:x3", "addpe@9000:pe6" —
+// into `ev`.  The shape after '@' is <ms>:<endpoint>[:x<M>]; link kinds take
+// a pe<A>-pe<B> endpoint pair, multiplier kinds require the trailing :x<M>
+// factor.  `offset` is the clause's starting byte in the enclosing spec,
+// threaded through so every error can point at it.
+Status ParseScheduledClause(const std::string& clause, size_t offset,
+                            FaultEvent* ev) {
   size_t at = clause.find('@');
   if (at == std::string::npos) {
-    return Status::InvalidArgument("bad fault-spec clause (missing '@'): " +
-                                   clause);
+    return ClauseError("missing '@'", clause, offset);
   }
   std::string kind = clause.substr(0, at);
   bool wants_pair = false;
@@ -300,11 +403,15 @@ Status ParseScheduledClause(const std::string& clause, FaultEvent* ev) {
     ev->kind = FaultKind::kSlowLink;
     wants_pair = true;
     wants_factor = true;
+  } else if (kind == "addpe") {
+    ev->kind = FaultKind::kAddPe;
+  } else if (kind == "drainpe") {
+    ev->kind = FaultKind::kDrainPe;
   } else {
-    return Status::InvalidArgument(
+    return ClauseError(
         "unknown fault kind (want crash|recover|slowdisk|partition|heal|"
-        "slowlink): " +
-        clause);
+        "slowlink|addpe|drainpe)",
+        clause, offset);
   }
 
   std::vector<std::string> parts;  // <ms>, <endpoint>[, x<M>]
@@ -316,15 +423,15 @@ Status ParseScheduledClause(const std::string& clause, FaultEvent* ev) {
   }
   size_t expected = wants_factor ? 3 : 2;
   if (parts.size() != expected) {
-    return Status::InvalidArgument(
-        "bad fault-spec clause (want " + kind + "@<ms>:" +
-        (wants_pair ? "pe<A>-pe<B>" : "pe<N>") +
-        (wants_factor ? ":x<M>" : "") + "): " + clause);
+    return ClauseError("want " + kind + "@<ms>:" +
+                           (wants_pair ? "pe<A>-pe<B>" : "pe<N>") +
+                           (wants_factor ? ":x<M>" : ""),
+                       clause, offset);
   }
   try {
     ev->at_ms = std::stod(parts[0]);
   } catch (...) {
-    return Status::InvalidArgument("bad fault-spec time: " + clause);
+    return ClauseError("bad time \"" + parts[0] + "\"", clause, offset);
   }
 
   const std::string& endpoint = parts[1];
@@ -333,33 +440,33 @@ Status ParseScheduledClause(const std::string& clause, FaultEvent* ev) {
     if (dash == std::string::npos ||
         !ParsePeToken(endpoint.substr(0, dash), &ev->pe) ||
         !ParsePeToken(endpoint.substr(dash + 1), &ev->pe2)) {
-      return Status::InvalidArgument(
-          "bad fault-spec endpoints (want pe<A>-pe<B>): " + clause);
+      return ClauseError("bad endpoints (want pe<A>-pe<B>)", clause, offset);
     }
     if (ev->pe == ev->pe2) {
-      return Status::InvalidArgument(
-          "fault-spec endpoints must differ: " + clause);
+      return ClauseError("endpoints must differ", clause, offset);
     }
   } else if (!ParsePeToken(endpoint, &ev->pe)) {
-    return Status::InvalidArgument("bad fault-spec PE (want pe<N>): " +
-                                   clause);
+    return ClauseError("bad PE \"" + endpoint + "\" (want pe<N>)", clause,
+                       offset);
   }
 
   if (wants_factor) {
     const std::string& f = parts[2];
-    if (f.empty() || f[0] != 'x') {
-      return Status::InvalidArgument(
-          "bad fault-spec multiplier (want x<M>): " + clause);
+    bool bad = f.empty() || f[0] != 'x';
+    if (!bad) {
+      try {
+        ev->factor = std::stod(f.substr(1));
+      } catch (...) {
+        bad = true;
+      }
     }
-    try {
-      ev->factor = std::stod(f.substr(1));
-    } catch (...) {
-      return Status::InvalidArgument(
-          "bad fault-spec multiplier (want x<M>): " + clause);
+    if (bad) {
+      return ClauseError("bad multiplier \"" + f + "\" (want x<M>)", clause,
+                         offset);
     }
     if (ev->factor < 1.0) {
-      return Status::InvalidArgument(
-          "fault-spec multiplier must be >= 1 (x1 restores): " + clause);
+      return ClauseError("multiplier must be >= 1 (x1 restores)", clause,
+                         offset);
     }
   }
   return Status::OK();
@@ -407,6 +514,7 @@ Status ParseFaultSpec(const std::string& spec, FaultConfig* out) {
   std::set<std::tuple<int, double, int, int>> seen;
   size_t pos = 0;
   while (pos <= spec.size()) {
+    size_t clause_start = pos;
     size_t end = spec.find(';', pos);
     if (end == std::string::npos) end = spec.size();
     std::string clause = spec.substr(pos, end - pos);
@@ -430,25 +538,28 @@ Status ParseFaultSpec(const std::string& spec, FaultConfig* out) {
         } else if (key == "iorate") {
           out->io_error_rate = std::stod(val);
           if (out->io_error_rate < 0.0 || out->io_error_rate >= 1.0) {
-            return Status::InvalidArgument(
-                "iorate must be in [0, 1): " + clause);
+            return ClauseError("iorate must be in [0, 1)", clause,
+                               clause_start);
           }
         } else {
-          return Status::InvalidArgument("unknown fault-spec key: " + key);
+          return ClauseError("unknown key \"" + key +
+                                 "\" (want rate|mttr|timeout|timeout_frac|"
+                                 "retries|iorate)",
+                             clause, clause_start);
         }
       } catch (...) {
-        return Status::InvalidArgument("bad fault-spec value: " + clause);
+        return ClauseError("bad value \"" + val + "\"", clause, clause_start);
       }
       continue;
     }
     FaultEvent ev;
-    PDBLB_RETURN_IF_ERROR(ParseScheduledClause(clause, &ev));
+    PDBLB_RETURN_IF_ERROR(ParseScheduledClause(clause, clause_start, &ev));
     if (!seen.insert({static_cast<int>(ev.kind), ev.at_ms, ev.pe, ev.pe2})
              .second) {
-      return Status::InvalidArgument(
-          "duplicate fault-spec clause (same kind, time and target appear "
-          "twice; the repeat would silently win): " +
-          clause);
+      return ClauseError(
+          "duplicate clause (same kind, time and target appear twice; the "
+          "repeat would silently win)",
+          clause, clause_start);
     }
     out->events.push_back(ev);
   }

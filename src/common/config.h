@@ -289,6 +289,10 @@ enum class FaultKind {
   kPartition,  ///< Cut the link between `pe` and `pe2` (symmetric).
   kHeal,       ///< Restore the link between `pe` and `pe2`.
   kSlowLink,   ///< Multiply the pe->pe2 wire delay by `factor` (both ways).
+  kAddPe,      ///< Elastic add: PE `pe` (a spare, excluded from the initial
+               ///< declustering) joins the cluster; fragments migrate to it.
+  kDrainPe,    ///< Elastic drain: PE `pe` stops taking new placements, its
+               ///< fragments migrate out, then it leaves the membership.
 };
 
 struct FaultEvent {
@@ -352,6 +356,16 @@ struct FaultConfig {
   /// True when transient disk errors are configured.  Pure latency faults:
   /// no supervision needed, the driver absorbs the retries.
   bool DiskFaultsEnabled() const { return io_error_rate > 0.0; }
+  /// True when elastic membership events (addpe/drainpe) are scheduled.
+  /// Implies FailuresEnabled() (the events vector is non-empty).
+  bool ElasticEnabled() const {
+    for (const FaultEvent& ev : events) {
+      if (ev.kind == FaultKind::kAddPe || ev.kind == FaultKind::kDrainPe) {
+        return true;
+      }
+    }
+    return false;
+  }
   /// True when queries need supervision (retry/timeout/abort handling).
   bool Enabled() const { return FailuresEnabled() || TimeoutsEnabled(); }
 };
@@ -366,6 +380,10 @@ struct FaultConfig {
 ///   partition@<ms>:pe<A>-pe<B>      cut the A<->B link at time <ms>
 ///   heal@<ms>:pe<A>-pe<B>           restore the A<->B link
 ///   slowlink@<ms>:pe<A>-pe<B>:x<M>  multiply the A<->B wire delay by M
+///   addpe@<ms>:pe<N>      elastic resize: spare PE N joins at time <ms>
+///                         (N is held out of the initial declustering)
+///   drainpe@<ms>:pe<N>    elastic resize: PE N drains (fragments migrate
+///                         out, then N leaves the membership)
 ///   rate=<r>              random crashes per PE per minute
 ///   mttr=<ms>             mean time to repair for random crashes
 ///   timeout=<ms>          per-query deadline
@@ -406,6 +424,19 @@ struct OverloadConfig {
   int exit_rounds = 3;   ///< Consecutive cool rounds before de-escalating.
   /// Degree cap while degraded/shedding: ceil(alive * this), at least 1.
   double parallelism_factor = 0.5;
+};
+
+/// Elastic cluster resize (engine/elastic.h).  Only consulted when the fault
+/// schedule contains addpe/drainpe events; otherwise no migration machinery
+/// runs and event streams are untouched.
+struct ElasticConfig {
+  /// Migration bandwidth cap in MB/s per active fragment move.  Each page
+  /// batch takes at least batch_bytes / cap simulated time, so foreground
+  /// queries keep most of the network/disk capacity (--migration-bw).
+  double migration_bw_mbps = 32.0;
+  /// Pages copied per migration batch.  The batch is the unit of crash
+  /// unwind: a crash mid-batch discards the partial destination pages.
+  int migration_batch_pages = 16;
 };
 
 /// Top-level configuration; defaults reproduce the paper's base setting.
@@ -480,6 +511,9 @@ struct SystemConfig {
   /// Disabled by default: ShouldShed() is then constant-false and the
   /// degree cap is a no-op, so plans and event streams are untouched.
   OverloadConfig overload;
+  /// Elastic resize knobs (migration bandwidth/batching); inert unless the
+  /// fault schedule contains addpe/drainpe events.
+  ElasticConfig elastic;
   double warmup_ms = 5000.0;        ///< Statistics reset after warm-up.
   double measurement_ms = 60000.0;  ///< Measured simulation horizon.
   /// Single-user mode: join queries run back to back with nothing else in

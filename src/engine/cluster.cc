@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "engine/elastic.h"
 #include "engine/faults.h"
 #include "engine/join_executor.h"
 #include "engine/multiway_executor.h"
@@ -105,6 +106,16 @@ Cluster::Cluster(const SystemConfig& config)
   deadlock_detector_ =
       std::make_unique<DeadlockDetector>(sched_, std::move(lock_managers));
   faults_ = std::make_unique<FaultInjector>(*this);
+  if (config_.faults.ElasticEnabled()) {
+    elastic_ = std::make_unique<ElasticityManager>(*this);
+    // Elastic spares (addpe targets) start outside the membership: no
+    // fragment homes (catalog/database.cc), not in the planning views, no
+    // load reports until their addpe event fires.
+    for (PeId pe : db_->spare_nodes()) {
+      pes_[pe]->set_member(false);
+      control_->MarkDown(pe);
+    }
+  }
 
   // Transient disk errors: arm every PE's disk array with its own fork of
   // the dedicated disk-fault stream (root.Fork(4), then per PE).  Stream 3
@@ -129,8 +140,10 @@ Cluster::Cluster(const SystemConfig& config)
   plan_request_.join_rate_tps = cost_model_->JoinConsumptionRateTps();
 
   // Seed the control node with an optimistic initial view (idle CPUs, all
-  // memory free) — exactly what a freshly booted system reports.
+  // memory free) — exactly what a freshly booted system reports.  Spares
+  // report nothing until their addpe event fires.
   for (PeId id = 0; id < config_.num_pes; ++id) {
+    if (!pes_[id]->member()) continue;
     control_->Report(id, 0.0, pes_[id]->buffer().AvailablePages(), 0.0);
   }
 }
@@ -140,10 +153,11 @@ Cluster::~Cluster() = default;
 void Cluster::ReportAllPes(SimTime window_ms) {
   for (auto& pe : pes_) {
     double cpu_busy = pe->cpu().BusyIntegral();
-    if (pe->failed()) {
-      // A down PE reports nothing (the control node's alive view excludes
-      // it); keep the window bookkeeping current so the first report after
-      // recovery covers only post-recovery activity.
+    if (pe->failed() || !pe->member()) {
+      // A down (or non-member: spare / draining) PE reports nothing (the
+      // control node's alive view excludes it); keep the window bookkeeping
+      // current so the first report after recovery or join covers only
+      // activity since then.
       pe->last_cpu_busy_integral = cpu_busy;
       pe->last_disk_busy_integral = pe->disks().DataDiskBusyIntegral();
       continue;
@@ -174,7 +188,7 @@ void Cluster::ReportAllPes(SimTime window_ms) {
     double queue = 0.0;
     int alive = 0;
     for (auto& pe : pes_) {
-      if (pe->failed()) continue;
+      if (pe->failed() || !pe->member()) continue;
       queue += static_cast<double>(pe->admission().queue_length());
       ++alive;
     }
@@ -378,6 +392,12 @@ MetricsReport Cluster::Collect(SimTime measure_start,
   r.pe_recoveries = metrics_.pe_recoveries();
   r.queries_shed = metrics_.queries_shed();
   r.link_partitions = metrics_.link_partitions();
+  r.pes_added = metrics_.pes_added();
+  r.pes_drained = metrics_.pes_drained();
+  r.fragments_migrated = metrics_.fragments_migrated();
+  r.migration_pages_moved = metrics_.migration_pages_moved();
+  r.migration_pages_discarded = metrics_.migration_pages_discarded();
+  r.migrations_replanned = metrics_.migrations_replanned();
   for (const auto& pe : pes_) {
     r.io_errors += pe->disks().io_errors();
     r.io_retries += pe->disks().io_retries();

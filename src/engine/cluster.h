@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "catalog/database.h"
+#include "catalog/ownership.h"
 #include "common/config.h"
 #include "common/status.h"
 #include "core/control_node.h"
@@ -36,6 +37,7 @@
 
 namespace pdblb {
 
+class ElasticityManager;
 class FaultInjector;
 
 class Cluster {
@@ -74,6 +76,33 @@ class Cluster {
   /// The fault-injection subsystem (engine/faults.h).  Always constructed;
   /// inert unless SystemConfig::faults enables failures or timeouts.
   FaultInjector& faults() { return *faults_; }
+
+  // --- elastic membership (engine/elastic.h) ------------------------------
+
+  /// True when the fault spec schedules addpe/drainpe events.  Constant for
+  /// the run; executors consult it to skip ownership indirection entirely
+  /// on resize-free configurations.
+  bool elastic_enabled() const { return elastic_ != nullptr; }
+  /// The membership/migration manager; only valid when elastic_enabled().
+  ElasticityManager& elastic() { return *elastic_; }
+  /// The fragment home -> owner map (identity until a migration commits).
+  OwnershipMap& ownership() { return ownership_; }
+  /// Current owner of the fragment of `relation_id` homed at `home`.
+  PeId OwnerOf(int32_t relation_id, PeId home) const {
+    return ownership_.Owner(relation_id, home);
+  }
+  /// Routes a drawn coordinator PE to the nearest member (linear probe
+  /// upward, wrapping).  Identity when elastic resize is not configured —
+  /// the draw itself is always made, so the workload RNG stream is
+  /// unchanged between elastic and resize-free runs.
+  PeId MemberPe(PeId drawn) const {
+    if (elastic_ == nullptr) return drawn;
+    for (int i = 0; i < config_.num_pes; ++i) {
+      PeId pe = (drawn + i) % config_.num_pes;
+      if (pes_[pe]->member()) return pe;
+    }
+    return drawn;  // no member at all: let the attempt fail fast
+  }
 
   /// Fresh relation-id namespace for a join's temporary partitions.
   int32_t NextTempRelationId() { return next_temp_rel_id_--; }
@@ -125,6 +154,9 @@ class Cluster {
   std::unique_ptr<LoadBalancingPolicy> policy_;
   std::unique_ptr<DeadlockDetector> deadlock_detector_;
   std::unique_ptr<FaultInjector> faults_;
+  /// Constructed only when the fault spec schedules addpe/drainpe.
+  std::unique_ptr<ElasticityManager> elastic_;
+  OwnershipMap ownership_;
   MetricsCollector metrics_;
   JoinPlanRequest plan_request_;
 

@@ -1,0 +1,168 @@
+// Copyright 2026 the pdblb authors. MIT license.
+//
+// Elastic cluster resize: online PE add/drain with deterministic fragment
+// migration.
+//
+// Membership events (addpe@ms:peN / drainpe@ms:peN in the fault grammar)
+// flow from the FaultInjector into the ElasticityManager, which flips the
+// PE's membership flag and the control node's planning view immediately and
+// then rebalances fragment *ownership* in the background:
+//
+//  * RebalancePlanner — a pure, deterministic greedy planner (no RNG): a
+//    draining PE's fragments are vacated largest-first to the least-loaded
+//    members; a joining PE is filled from the most-loaded donors until one
+//    more fragment would overshoot the per-PE page target.  Existing
+//    members are never shuffled among themselves — a resize moves only the
+//    fragments the resize requires.
+//
+//  * FragmentMigrator — one coroutine per fragment move: takes an exclusive
+//    whole-fragment migration latch at the *home* PE's lock manager (key
+//    {relation_id, -(home+1)}, a tuple-id no page lock can collide with),
+//    then copies the fragment batch-by-batch: donor ReadStriped ->
+//    Network::TransferBulk -> destination BufferManager::IngestBatch, each
+//    batch throttled to ElasticConfig::migration_bw_mbps.  Only after the
+//    last batch lands does the OwnershipMap flip, so queries route to
+//    exactly one owner at every instant.
+//
+// Crash unwind: a crash of the donor, destination or home PE mid-migration
+// cancels the in-flight move; the coroutine frame unwinds through its RAII
+// guards (migration latch released, destination staging reservation
+// returned, partial destination pages discarded and counted), ownership
+// stays with the donor, and the manager re-plans around the dead PE.
+//
+// Determinism: the planner draws no random numbers and iterates
+// deterministically ordered state; migrations are ordinary calendar
+// coroutines.  Without addpe/drainpe events the manager spawns nothing and
+// OwnershipMap::Owner is the identity, so resize-free runs are byte-
+// identical to a pre-elastic build.
+
+#ifndef PDBLB_ENGINE_ELASTIC_H_
+#define PDBLB_ENGINE_ELASTIC_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/config.h"
+#include "common/units.h"
+#include "simkern/latch.h"
+#include "simkern/task.h"
+
+namespace pdblb {
+
+class Cluster;
+
+/// One planned fragment move: the fragment of `relation_id` homed at
+/// `home`, currently owned by `from`, is to be migrated to `to`.
+struct FragmentMove {
+  int32_t relation_id = 0;
+  PeId home = -1;
+  PeId from = -1;
+  PeId to = -1;
+  int64_t pages = 0;
+};
+
+/// Declustering-aware rebalance planning, pure and deterministic (directly
+/// unit-tested; the ElasticityManager feeds it live cluster state).
+namespace planner {
+
+/// One fragment as the planner sees it.
+struct Fragment {
+  int32_t relation_id = 0;
+  PeId home = -1;
+  PeId owner = -1;  ///< current owner (home until a migration committed)
+  int64_t pages = 0;
+};
+
+/// One PE as the planner sees it.
+struct PeState {
+  bool receive = false;  ///< member, alive, not draining: may gain fragments
+  bool alive = false;    ///< not failed: its fragments can be read (donor)
+  bool vacate = false;   ///< draining: must lose every owned fragment
+  bool fill = false;     ///< freshly added: fill up to the per-PE target
+};
+
+/// Plans the moves for the current state.  Two phases:
+///  1. vacate: every fragment owned by an alive `vacate` PE goes to the
+///     least-loaded `receive` PE (largest fragment first; ties by relation
+///     id then home id; destination ties by lowest PE id);
+///  2. fill: each `fill` PE (ascending id) takes the largest fragment from
+///     the most-loaded non-fill `receive` PE as long as the move strictly
+///     narrows the donor/newcomer gap (donor stays at least as loaded).
+/// Fragments owned by failed PEs are skipped (re-planned after recovery).
+/// Returns moves in execution order; empty when the state is settled.
+std::vector<FragmentMove> Plan(const std::vector<Fragment>& fragments,
+                               const std::vector<PeState>& pes);
+
+}  // namespace planner
+
+/// Owns the membership state machine and the migration queue.  Constructed
+/// by the Cluster only when SystemConfig::faults.ElasticEnabled(); all
+/// hooks are invoked by the FaultInjector.
+class ElasticityManager {
+ public:
+  explicit ElasticityManager(Cluster& cluster);
+
+  // --- membership events (FaultInjector::ApplyAt) --------------------------
+  /// addpe: the spare joins the planning views immediately and is filled by
+  /// a background rebalance.  No-op if already a member.
+  void OnAddPe(PeId pe);
+  /// drainpe: the PE leaves the planning views immediately (no new work is
+  /// placed on it); its fragments keep routing to it until each one's
+  /// migration commits.  No-op if not a member.
+  void OnDrainPe(PeId pe);
+
+  // --- crash/recovery hooks (FaultInjector::ApplyCrash/ApplyRecovery) -----
+  /// Aborts the in-flight migration if the crashed PE is its donor,
+  /// destination or home; the cancelled frame unwinds its latch and staging
+  /// reservation and the manager re-plans.  Call before
+  /// BufferManager::OnCrash so the staging reservation is gone by the time
+  /// the buffer asserts a clean slate.
+  void OnPeCrash(PeId pe);
+  /// A recovered draining PE resumes vacating its remaining fragments.
+  void OnPeRecovered(PeId pe);
+
+  /// True while `pe` is draining (non-member still owning fragments).
+  bool Draining(PeId pe) const { return draining_.count(pe) > 0; }
+  /// True while a rebalance (planning or migrating) is in flight.
+  bool RebalanceActive() const { return running_; }
+
+ private:
+  struct MigrationState {
+    PeId home = -1;
+    PeId from = -1;
+    PeId to = -1;
+    uint64_t work_id = 0;
+    sim::Latch* done = nullptr;
+    bool aborted = false;
+    int64_t pages_done = 0;  ///< committed batches (discarded on abort)
+  };
+
+  /// Snapshots live cluster state into planner inputs and plans.
+  std::vector<FragmentMove> PlanCurrent();
+  /// Pages currently owned by `pe` across the declustered relations.
+  int64_t OwnedPages(PeId pe);
+  /// Records completed drains (a draining PE that owns nothing is done).
+  void FinishDrains();
+  /// Starts the rebalance coroutine if it is not already running.
+  void KickRebalance();
+  /// Sequential rebalance driver: plan, migrate each move, re-plan until
+  /// the plan comes back empty (one migration in flight at a time).
+  sim::Task<> RunRebalance();
+  /// Runs one move start-to-commit; false when aborted (re-plan needed).
+  sim::Task<bool> ExecuteMove(FragmentMove move);
+  /// The migrator coroutine (spawned with an id so OnPeCrash can cancel).
+  sim::Task<> MigrateFragment(FragmentMove move, MigrationState* st);
+
+  Cluster& cluster_;
+  std::set<PeId> draining_;
+  std::set<PeId> added_;     ///< every PE ever added (refill after a crash)
+  std::set<PeId> fill_;      ///< added PEs not yet filled to target
+  MigrationState* active_ = nullptr;
+  bool running_ = false;
+  bool dirty_ = false;  ///< membership changed while a rebalance ran
+};
+
+}  // namespace pdblb
+
+#endif  // PDBLB_ENGINE_ELASTIC_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "engine/cluster.h"
+#include "engine/elastic.h"
 
 namespace pdblb {
 
@@ -165,6 +166,12 @@ sim::Task<> FaultInjector::ApplyAt(FaultEvent event) {
       cluster_.net().SetLinkDelayMultiplier(event.pe, event.pe2,
                                             event.factor);
       break;
+    case FaultKind::kAddPe:
+      cluster_.elastic().OnAddPe(event.pe);
+      break;
+    case FaultKind::kDrainPe:
+      cluster_.elastic().OnDrainPe(event.pe);
+      break;
   }
 }
 
@@ -192,7 +199,7 @@ void FaultInjector::ApplyCrash(PeId pe) {
   if (elem.failed()) return;
   if (cluster_.control().AliveCount() <= 1) return;
   elem.set_failed(true);
-  cluster_.control().MarkDown(pe);
+  cluster_.control().MarkDown(pe);  // idempotent: non-members already down
   cluster_.metrics().RecordPeCrash();
 
   // Cancel every resident attempt.  Cancellation destroys the attempt frame
@@ -210,6 +217,11 @@ void FaultInjector::ApplyCrash(PeId pe) {
     cluster_.sched().Cancel(qa->work_id);
     if (!qa->done->Done()) qa->done->CountDown();
   }
+
+  // Abort any fragment migration touching this PE first: the cancelled
+  // migrator frame returns its destination staging reservation, which the
+  // buffer wipe below asserts is gone.
+  if (cluster_.elastic_enabled()) cluster_.elastic().OnPeCrash(pe);
 
   // Volatile state is lost; asserts that the unwind above accounted every
   // reservation and queued request before wiping the cache.
@@ -245,12 +257,18 @@ void FaultInjector::ApplyRecovery(PeId pe) {
   ProcessingElement& elem = cluster_.pe(pe);
   if (!elem.failed()) return;
   elem.set_failed(false);
-  cluster_.control().MarkUp(pe);
   cluster_.metrics().RecordPeRecovery();
-  // A recovered PE reboots idle with a cold buffer: refresh the control
-  // node's view immediately so strategies rebalance onto it without waiting
-  // for the next report interval.
-  cluster_.control().Report(pe, 0.0, elem.buffer().AvailablePages(), 0.0);
+  if (elem.member()) {
+    cluster_.control().MarkUp(pe);
+    // A recovered PE reboots idle with a cold buffer: refresh the control
+    // node's view immediately so strategies rebalance onto it without
+    // waiting for the next report interval.  Non-members (spares, draining
+    // PEs) stay out of the planning views.
+    cluster_.control().Report(pe, 0.0, elem.buffer().AvailablePages(), 0.0);
+  }
+  // A recovered draining PE resumes vacating; a crashed-then-recovered
+  // joiner gets refilled.
+  if (cluster_.elastic_enabled()) cluster_.elastic().OnPeRecovered(pe);
 }
 
 sim::Task<> FaultInjector::Supervise(AttemptFactory make) {

@@ -59,9 +59,11 @@ sim::Task<> ExecuteJoinQuery(Cluster& c, QueryAttempt* qa) {
   const SimTime t0 = sched.Now();
 
   // Random coordinator placement (paper: queries are assigned to a
-  // coordinating PE uniformly over all PEs).
-  const PeId coord =
-      static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1));
+  // coordinating PE uniformly over all PEs).  Under elastic resize the draw
+  // is remapped to the nearest member (the draw itself always happens, so
+  // the RNG stream matches resize-free runs).
+  const PeId coord = c.MemberPe(
+      static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1)));
   if (qa != nullptr && !qa->AddParticipant(coord)) co_return;
   if (c.control().ShouldShed()) {
     // Overload shedding: reject before queueing for an admission slot, so a
@@ -104,17 +106,39 @@ sim::Task<> ExecuteJoinQuery(Cluster& c, QueryAttempt* qa) {
     for (size_t i = 0; i < b_exec.size(); ++i) {
       b_exec[i] = by_cpu[i % by_cpu.size()].pe;
     }
+  } else if (c.elastic_enabled()) {
+    // Shared Nothing with elastic resize: each fragment is scanned by its
+    // current owner (== home until a migration moved it).
+    for (size_t i = 0; i < a_exec.size(); ++i) {
+      a_exec[i] = c.OwnerOf(c.db().a().id(), a_nodes[i]);
+    }
+    for (size_t i = 0; i < b_exec.size(); ++i) {
+      b_exec[i] = c.OwnerOf(c.db().b().id(), b_nodes[i]);
+    }
   }
   std::set<PeId> participants(a_exec.begin(), a_exec.end());
   participants.insert(b_exec.begin(), b_exec.end());
-  participants.insert(a_nodes.begin(), a_nodes.end());
-  participants.insert(b_nodes.begin(), b_nodes.end());
+  if (!c.elastic_enabled()) {
+    // The homes are the scan sites (Shared Nothing) or the lock sites whose
+    // liveness the query needs (Shared Disk).  Under elastic resize a home
+    // may be a drained (even dead) PE whose fragment now lives elsewhere —
+    // only the owners above actually serve the query, so only those gate
+    // its fate.
+    participants.insert(a_nodes.begin(), a_nodes.end());
+    participants.insert(b_nodes.begin(), b_nodes.end());
+  }
   participants.insert(plan.pes.begin(), plan.pes.end());
   if (qa != nullptr &&
       !qa->AddParticipants({participants.begin(), participants.end()})) {
     co_return;
   }
   for (PeId pe : participants) read_locks.AddPe(pe);
+  if (c.elastic_enabled()) {
+    // Read locks are taken at the homes' lock managers regardless of who
+    // executes the scan; the guard must cover them for crash unwind.
+    for (PeId pe : a_nodes) read_locks.AddPe(pe);
+    for (PeId pe : b_nodes) read_locks.AddPe(pe);
+  }
 
   // Start the subqueries: the coordinator serializes its send costs, the
   // deliveries run in parallel.
@@ -265,6 +289,12 @@ sim::Task<> ExecuteJoinQuery(Cluster& c, QueryAttempt* qa) {
     co_await commits.Wait();
     if (read_txn != 0) {
       for (PeId dest : participants) c.pe(dest).locks().ReleaseAll(read_txn);
+      if (c.elastic_enabled()) {
+        // Locks live at the homes' lock managers, which under elastic
+        // resize may not be participants (drained homes).
+        for (PeId pe : a_nodes) c.pe(pe).locks().ReleaseAll(read_txn);
+        for (PeId pe : b_nodes) c.pe(pe).locks().ReleaseAll(read_txn);
+      }
     }
     read_locks.Disarm();
   }

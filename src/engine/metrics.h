@@ -104,6 +104,26 @@ class MetricsCollector {
   /// A scripted network partition was applied (whole run, like crashes).
   void RecordLinkPartition() { ++link_partitions_; }
 
+  // --- elastic resize (engine/elastic.h) -----------------------------------
+  // Whole-run counters like crashes: membership events are scripted, not
+  // workload outcomes, so warm-up applies no differently.
+  /// A spare PE joined the membership (addpe fired).
+  void RecordPeAdded() { ++pes_added_; }
+  /// A draining PE finished migrating its fragments out and left.
+  void RecordPeDrained() { ++pes_drained_; }
+  /// One fragment finished migrating (ownership flipped), moving `pages`.
+  void RecordFragmentMigrated(int64_t pages) {
+    ++fragments_migrated_;
+    migration_pages_moved_ += pages;
+  }
+  /// Destination pages of an aborted in-flight migration were discarded
+  /// (crash unwind); the fragment stays with its donor.
+  void RecordMigrationPagesDiscarded(int64_t pages) {
+    migration_pages_discarded_ += pages;
+  }
+  /// The rebalance plan was recomputed around a crashed/lost PE.
+  void RecordMigrationReplanned() { ++migrations_replanned_; }
+
   const sim::SampleStat& join_rt() const { return join_rt_; }
   const sim::SampleStat& oltp_rt() const { return oltp_rt_; }
   const sim::SampleStat& scan_rt() const { return scan_rt_; }
@@ -129,6 +149,14 @@ class MetricsCollector {
   int64_t pe_crashes() const { return pe_crashes_; }
   int64_t pe_recoveries() const { return pe_recoveries_; }
   int64_t link_partitions() const { return link_partitions_; }
+  int64_t pes_added() const { return pes_added_; }
+  int64_t pes_drained() const { return pes_drained_; }
+  int64_t fragments_migrated() const { return fragments_migrated_; }
+  int64_t migration_pages_moved() const { return migration_pages_moved_; }
+  int64_t migration_pages_discarded() const {
+    return migration_pages_discarded_;
+  }
+  int64_t migrations_replanned() const { return migrations_replanned_; }
 
  private:
   SimTime warmup_end_ = 0.0;
@@ -155,6 +183,12 @@ class MetricsCollector {
   int64_t pe_crashes_ = 0;
   int64_t pe_recoveries_ = 0;
   int64_t link_partitions_ = 0;
+  int64_t pes_added_ = 0;
+  int64_t pes_drained_ = 0;
+  int64_t fragments_migrated_ = 0;
+  int64_t migration_pages_moved_ = 0;
+  int64_t migration_pages_discarded_ = 0;
+  int64_t migrations_replanned_ = 0;
 };
 
 /// Flat result record of one simulation run (what benches print).
@@ -227,6 +261,15 @@ struct MetricsReport {
   int64_t io_retries = 0;
   int64_t link_partitions = 0;
   double slow_disk_ms = 0.0;
+
+  // Elastic resize (engine/elastic.h); all zero without addpe/drainpe
+  // events.  Whole-run counters, like crashes.
+  int64_t pes_added = 0;
+  int64_t pes_drained = 0;
+  int64_t fragments_migrated = 0;
+  int64_t migration_pages_moved = 0;
+  int64_t migration_pages_discarded = 0;
+  int64_t migrations_replanned = 0;
 
   double measurement_seconds = 0.0;
 

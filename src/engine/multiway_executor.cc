@@ -59,8 +59,10 @@ sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c, QueryAttempt* qa) {
   const int stages = cfg.multiway_join.ways - 1;
   const int tuple_size = cfg.relation_a.tuple_size_bytes;
 
-  const PeId coord =
-      static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1));
+  // The draw is always made so the workload RNG stream is identical between
+  // elastic and resize-free runs; MemberPe is the identity without elastic.
+  const PeId coord = c.MemberPe(
+      static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1)));
   if (qa != nullptr && !qa->AddParticipant(coord)) co_return;
   if (c.control().ShouldShed()) {
     // Overload shedding: reject before queueing for an admission slot (see
@@ -113,10 +115,28 @@ sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c, QueryAttempt* qa) {
     const int p = plan.degree;
     degraded = degraded || plan.degraded;
 
-    // This stage's participants: inner sources, outer scan nodes, join PEs.
-    std::set<PeId> participants(outer_nodes.begin(), outer_nodes.end());
+    // Base-relation fragments execute at their current owner; under elastic
+    // resize that can differ from the declustering home (catalog/ownership.h).
+    std::vector<PeId> outer_exec(outer_nodes);
+    std::vector<PeId> a_exec;
     if (first) {
-      participants.insert(c.db().a_nodes().begin(), c.db().a_nodes().end());
+      a_exec.assign(c.db().a_nodes().begin(), c.db().a_nodes().end());
+    }
+    if (c.elastic_enabled()) {
+      for (size_t i = 0; i < outer_exec.size(); ++i) {
+        outer_exec[i] = c.OwnerOf(outer_rel.id(), outer_nodes[i]);
+      }
+      for (size_t i = 0; i < a_exec.size(); ++i) {
+        a_exec[i] = c.OwnerOf(c.db().a().id(), a_exec[i]);
+      }
+    }
+
+    // This stage's participants: inner sources, outer scan nodes, join PEs.
+    // Owners (not homes) participate: a fragment migrated off a drained PE
+    // must stay queryable after that PE dies.
+    std::set<PeId> participants(outer_exec.begin(), outer_exec.end());
+    if (first) {
+      participants.insert(a_exec.begin(), a_exec.end());
     } else {
       participants.insert(result_pes.begin(), result_pes.end());
     }
@@ -187,9 +207,10 @@ sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c, QueryAttempt* qa) {
         std::vector<int64_t> node_share =
             SplitEvenly(inner_total, static_cast<int>(a_nodes.size()));
         for (size_t i = 0; i < a_nodes.size(); ++i) {
-          sources.Spawn(ScanRedistribute(c, a_nodes[i], c.db().a(),
+          sources.Spawn(ScanRedistribute(c, a_exec[i], c.db().a(),
                                          node_share[i], plan.pes, dest_frac,
-                                         channels, sends));
+                                         channels, sends, /*read_lock_txn=*/0,
+                                         /*fragment_owner=*/a_nodes[i]));
         }
       } else {
         for (size_t i = 0; i < result_pes.size(); ++i) {
@@ -221,9 +242,10 @@ sim::Task<> ExecuteMultiwayJoinQuery(Cluster& c, QueryAttempt* qa) {
       std::vector<int64_t> node_share =
           SplitEvenly(outer_total, static_cast<int>(outer_nodes.size()));
       for (size_t i = 0; i < outer_nodes.size(); ++i) {
-        scans.Spawn(ScanRedistribute(c, outer_nodes[i], outer_rel,
+        scans.Spawn(ScanRedistribute(c, outer_exec[i], outer_rel,
                                      node_share[i], plan.pes, dest_frac,
-                                     channels, sends));
+                                     channels, sends, /*read_lock_txn=*/0,
+                                     /*fragment_owner=*/outer_nodes[i]));
       }
       co_await scans.Wait();
       co_await sends.Wait();

@@ -59,6 +59,15 @@ class ProcessingElement {
   bool failed() const { return failed_; }
   void set_failed(bool failed) { failed_ = failed; }
 
+  // --- membership state (engine/elastic.h) -------------------------------
+  // Elastic spares start as non-members; a draining PE stops being a member
+  // before its fragments finish migrating out (it keeps serving fragments
+  // it still owns, but takes no new placements or coordinator roles).
+  // Flipped by ElasticityManager only; runs without addpe/drainpe events
+  // always see true.
+  bool member() const { return member_; }
+  void set_member(bool member) { member_ = member; }
+
   sim::Resource& cpu() { return cpu_; }
   DiskArray& disks() { return *disks_; }
   BufferManager& buffer() { return buffer_; }
@@ -80,6 +89,7 @@ class ProcessingElement {
  private:
   PeId id_;
   bool failed_ = false;
+  bool member_ = true;
   sim::Resource cpu_;
   std::unique_ptr<DiskArray> disks_;
   BufferManager buffer_;

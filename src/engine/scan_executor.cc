@@ -23,13 +23,16 @@ using parop::UseCpu;
 /// One data processor's share of a scan query: locate + read + filter the
 /// fragment, then ship the selected tuples to the coordinator.  Under
 /// strict 2PL (`read_lock_txn` != 0) every touched page is read-locked.
-sim::Task<> ScanFragment(Cluster& c, PeId node, const Relation& rel,
-                         ScanAccess access, int64_t examined_share,
-                         int64_t selected_share, PeId coord,
-                         TxnId read_lock_txn) {
+/// `node` is the fragment's immutable home (geometry, page keys, lock
+/// site); `exec` the current owner whose buffer/CPU/disks serve it (equal
+/// until an elastic migration moves the fragment).
+sim::Task<> ScanFragment(Cluster& c, PeId node, PeId exec,
+                         const Relation& rel, ScanAccess access,
+                         int64_t examined_share, int64_t selected_share,
+                         PeId coord, TxnId read_lock_txn) {
   const SystemConfig& cfg = c.config();
   const CpuCosts& costs = cfg.costs;
-  ProcessingElement& pe = c.pe(node);
+  ProcessingElement& pe = c.pe(exec);
   const int bf = rel.blocking_factor();
   const int64_t frag_pages = rel.PagesAt(node);
 
@@ -48,13 +51,13 @@ sim::Task<> ScanFragment(Cluster& c, PeId node, const Relation& rel,
           }
         }
         co_await pe.buffer().FetchRange(rel.DataPage(node, pos), len);
-        co_await UseCpu(c, node, len * bf * costs.read_tuple);
+        co_await UseCpu(c, exec, len * bf * costs.read_tuple);
       }
       break;
     }
     case ScanAccess::kClusteredIndex: {
       // Descend the index, then read just the selected range.
-      co_await UseCpu(c, node, costs.read_tuple * rel.IndexLevels(node));
+      co_await UseCpu(c, exec, costs.read_tuple * rel.IndexLevels(node));
       int64_t pages =
           std::min<int64_t>(frag_pages, (selected_share + bf - 1) / bf);
       int64_t start = c.workload_rng().UniformInt(
@@ -72,7 +75,7 @@ sim::Task<> ScanFragment(Cluster& c, PeId node, const Relation& rel,
           }
         }
         co_await pe.buffer().FetchRange(rel.DataPage(node, pos), len);
-        co_await UseCpu(c, node, len * bf * costs.read_tuple);
+        co_await UseCpu(c, exec, len * bf * costs.read_tuple);
         done += len;
       }
       break;
@@ -80,7 +83,7 @@ sim::Task<> ScanFragment(Cluster& c, PeId node, const Relation& rel,
     case ScanAccess::kUnclusteredIndex: {
       // Descend once, then one leaf page and one (random) data page per
       // qualifying tuple — the access path OLTP uses, scaled up.
-      co_await UseCpu(c, node, costs.read_tuple * rel.IndexLevels(node));
+      co_await UseCpu(c, exec, costs.read_tuple * rel.IndexLevels(node));
       int64_t leaf_pages = std::max<int64_t>(1, rel.IndexLeafPages(node));
       for (int64_t t = 0; t < selected_share; ++t) {
         int64_t leaf = c.workload_rng().UniformInt(0, leaf_pages - 1);
@@ -94,7 +97,7 @@ sim::Task<> ScanFragment(Cluster& c, PeId node, const Relation& rel,
         }
         co_await pe.buffer().Fetch(rel.DataPage(node, page),
                                    AccessPattern::kRandom);
-        co_await UseCpu(c, node, costs.read_tuple);
+        co_await UseCpu(c, exec, costs.read_tuple);
       }
       break;
     }
@@ -102,9 +105,9 @@ sim::Task<> ScanFragment(Cluster& c, PeId node, const Relation& rel,
   (void)examined_share;
 
   // Materialize and ship the selected tuples to the coordinator.
-  co_await UseCpu(c, node, selected_share * costs.write_output_tuple);
-  if (node != coord && selected_share > 0) {
-    co_await c.net().Transfer(node, coord,
+  co_await UseCpu(c, exec, selected_share * costs.write_output_tuple);
+  if (exec != coord && selected_share > 0) {
+    co_await c.net().Transfer(exec, coord,
                               selected_share * rel.config().tuple_size_bytes);
   }
 }
@@ -120,11 +123,20 @@ sim::Task<> ExecuteScanQuery(Cluster& c, QueryAttempt* qa) {
 
   const Relation& rel = c.db().target(q.relation);
   const std::vector<PeId>& nodes = c.db().target_nodes(q.relation);
+  // Execution sites: the fragments' current owners (== nodes until an
+  // elastic migration moves one).  Data processing, messages and admission
+  // happen at the owner; geometry and the read-lock site stay at the home.
+  std::vector<PeId> execs(nodes);
+  if (c.elastic_enabled()) {
+    for (size_t i = 0; i < execs.size(); ++i) {
+      execs[i] = c.OwnerOf(rel.id(), nodes[i]);
+    }
+  }
 
-  const PeId coord =
-      static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1));
+  const PeId coord = c.MemberPe(
+      static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1)));
   if (qa != nullptr &&
-      (!qa->AddParticipant(coord) || !qa->AddParticipants(nodes))) {
+      (!qa->AddParticipant(coord) || !qa->AddParticipants(execs))) {
     co_return;
   }
   co_await c.pe(coord).admission().Acquire();
@@ -140,7 +152,7 @@ sim::Task<> ExecuteScanQuery(Cluster& c, QueryAttempt* qa) {
   // allocation, so no control-node round trip is needed).
   {
     sim::TaskGroup startup(sched);
-    for (PeId dest : nodes) {
+    for (PeId dest : execs) {
       if (dest == coord) continue;
       co_await UseCpu(c, coord, costs.send_message + costs.copy_message);
       startup.Spawn(DeliverControl(c, dest));
@@ -158,8 +170,9 @@ sim::Task<> ExecuteScanQuery(Cluster& c, QueryAttempt* qa) {
   {
     sim::TaskGroup scans(sched);
     for (size_t i = 0; i < nodes.size(); ++i) {
-      scans.Spawn(ScanFragment(c, nodes[i], rel, q.access, examined_share[i],
-                               selected_share[i], coord, read_txn));
+      scans.Spawn(ScanFragment(c, nodes[i], execs[i], rel, q.access,
+                               examined_share[i], selected_share[i], coord,
+                               read_txn));
     }
     co_await scans.Wait();
   }
@@ -171,7 +184,7 @@ sim::Task<> ExecuteScanQuery(Cluster& c, QueryAttempt* qa) {
   // data processors.
   {
     sim::TaskGroup commits(sched);
-    for (PeId dest : nodes) {
+    for (PeId dest : execs) {
       if (dest == coord) continue;
       co_await UseCpu(c, coord, costs.send_message + costs.copy_message);
       commits.Spawn(CommitRound(c, coord, dest));
@@ -196,13 +209,17 @@ namespace {
 /// the before-images are copied to a version pool (extra CPU per tuple and
 /// one asynchronous version-page write per dirtied page).  Sets *victim if
 /// this transaction was chosen as a deadlock victim.
-sim::Task<> UpdateFragment(Cluster& c, PeId node, const Relation& rel,
-                           bool index_supported, int64_t update_share,
-                           TxnId txn, int32_t version_relation_id,
-                           bool* victim) {
+sim::Task<> UpdateFragment(Cluster& c, PeId node, PeId exec,
+                           const Relation& rel, bool index_supported,
+                           int64_t update_share, TxnId txn,
+                           int32_t version_relation_id, bool* victim) {
   const SystemConfig& cfg = c.config();
   const CpuCosts& costs = cfg.costs;
-  ProcessingElement& pe = c.pe(node);
+  // Home/owner split as in ScanFragment: pages and CPU are served by the
+  // owner, while the X locks stay at the home's lock manager — the
+  // fragment's lock site never moves, so updates and scans of a migrated
+  // fragment still conflict at one place.
+  ProcessingElement& pe = c.pe(exec);
   const int bf = rel.blocking_factor();
   const int64_t frag_pages = rel.PagesAt(node);
   if (update_share <= 0 || frag_pages <= 0) co_return;
@@ -214,7 +231,7 @@ sim::Task<> UpdateFragment(Cluster& c, PeId node, const Relation& rel,
 
   if (index_supported) {
     // Clustered-index descent straight to the affected range.
-    co_await UseCpu(c, node, costs.read_tuple * rel.IndexLevels(node));
+    co_await UseCpu(c, exec, costs.read_tuple * rel.IndexLevels(node));
   } else {
     // No index support: full fragment scan to find the affected tuples.
     const int64_t group_pages = static_cast<int64_t>(cfg.disk.prefetch_pages) *
@@ -222,7 +239,7 @@ sim::Task<> UpdateFragment(Cluster& c, PeId node, const Relation& rel,
     for (int64_t pos = 0; pos < frag_pages; pos += group_pages) {
       int64_t len = std::min(group_pages, frag_pages - pos);
       co_await pe.buffer().FetchRange(rel.DataPage(node, pos), len);
-      co_await UseCpu(c, node, len * bf * costs.read_tuple);
+      co_await UseCpu(c, exec, len * bf * costs.read_tuple);
     }
   }
 
@@ -232,7 +249,7 @@ sim::Task<> UpdateFragment(Cluster& c, PeId node, const Relation& rel,
   for (int64_t i = 0; i < pages && remaining > 0; ++i) {
     int64_t page = (start + i) % frag_pages;
     PageKey key = rel.DataPage(node, page);
-    bool granted = co_await pe.locks().Lock(
+    bool granted = co_await c.pe(node).locks().Lock(
         txn, LockKey{key.relation_id, key.page_no}, LockMode::kExclusive);
     if (!granted) {
       *victim = true;
@@ -241,12 +258,12 @@ sim::Task<> UpdateFragment(Cluster& c, PeId node, const Relation& rel,
     co_await pe.buffer().Fetch(key, AccessPattern::kSequential);
     int64_t in_page = std::min<int64_t>(bf, remaining);
     remaining -= in_page;
-    co_await UseCpu(c, node, in_page * (costs.read_tuple +
+    co_await UseCpu(c, exec, in_page * (costs.read_tuple +
                                         costs.write_output_tuple));
     if (mvcc) {
       // Copy the before-images into the version pool: one extra tuple write
       // each plus an asynchronous version-page append.
-      co_await UseCpu(c, node, in_page * costs.write_output_tuple +
+      co_await UseCpu(c, exec, in_page * costs.write_output_tuple +
                                    costs.io_overhead);
       c.sched().Spawn(pe.disks().WriteBatch(
           PageKey{version_relation_id, version_page++}, 1));
@@ -266,11 +283,18 @@ sim::Task<> ExecuteUpdateQuery(Cluster& c, QueryAttempt* qa) {
 
   const Relation& rel = c.db().target(q.relation);
   const std::vector<PeId>& nodes = c.db().target_nodes(q.relation);
+  // Owner routing, exactly as in ExecuteScanQuery.
+  std::vector<PeId> execs(nodes);
+  if (c.elastic_enabled()) {
+    for (size_t i = 0; i < execs.size(); ++i) {
+      execs[i] = c.OwnerOf(rel.id(), nodes[i]);
+    }
+  }
 
-  const PeId coord =
-      static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1));
+  const PeId coord = c.MemberPe(
+      static_cast<PeId>(c.workload_rng().UniformInt(0, c.num_pes() - 1)));
   if (qa != nullptr &&
-      (!qa->AddParticipant(coord) || !qa->AddParticipants(nodes))) {
+      (!qa->AddParticipant(coord) || !qa->AddParticipants(execs))) {
     co_return;
   }
   co_await c.pe(coord).admission().Acquire();
@@ -291,7 +315,7 @@ sim::Task<> ExecuteUpdateQuery(Cluster& c, QueryAttempt* qa) {
 
     {
       sim::TaskGroup startup(sched);
-      for (PeId dest : nodes) {
+      for (PeId dest : execs) {
         if (dest == coord) continue;
         co_await UseCpu(c, coord, costs.send_message + costs.copy_message);
         startup.Spawn(DeliverControl(c, dest));
@@ -304,9 +328,9 @@ sim::Task<> ExecuteUpdateQuery(Cluster& c, QueryAttempt* qa) {
       const int32_t version_rel = c.NextTempRelationId();
       sim::TaskGroup updates(sched);
       for (size_t i = 0; i < nodes.size(); ++i) {
-        updates.Spawn(UpdateFragment(c, nodes[i], rel, q.index_supported,
-                                     update_share[i], txn, version_rel,
-                                     &victim));
+        updates.Spawn(UpdateFragment(c, nodes[i], execs[i], rel,
+                                     q.index_supported, update_share[i], txn,
+                                     version_rel, &victim));
       }
       co_await updates.Wait();
     }
@@ -315,7 +339,7 @@ sim::Task<> ExecuteUpdateQuery(Cluster& c, QueryAttempt* qa) {
       // Full two-phase commit: every participant forces its log in the
       // prepare phase; the coordinator serializes its message sends.
       sim::TaskGroup commits(sched);
-      for (PeId dest : nodes) {
+      for (PeId dest : execs) {
         if (dest == coord) continue;
         co_await UseCpu(c, coord, costs.send_message + costs.copy_message);
         commits.Spawn(TwoPhaseCommitRounds(c, coord, dest));

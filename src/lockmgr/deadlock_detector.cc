@@ -81,13 +81,25 @@ std::vector<TxnId> DeadlockDetector::FindCycleVictims(
 }
 
 std::vector<TxnId> DeadlockDetector::DetectAndResolve() {
+  // Collect the wait-for edges site by site, recording which lock manager
+  // contributed each waiter.  A victim is then aborted at its recorded site
+  // directly, rather than probing every PE's lock table in turn — the
+  // collected edges are the only cross-PE state the detector reads.
   std::vector<WaitForEdge> edges;
-  for (LockManager* lm : lock_managers_) lm->CollectWaitForEdges(&edges);
+  std::map<TxnId, size_t> waiter_site;
+  for (size_t i = 0; i < lock_managers_.size(); ++i) {
+    const size_t before = edges.size();
+    lock_managers_[i]->CollectWaitForEdges(&edges);
+    for (size_t j = before; j < edges.size(); ++j) {
+      waiter_site[edges[j].waiter] = i;  // a txn waits at one PE at a time
+    }
+  }
 
   std::vector<TxnId> victims = FindCycleVictims(edges);
   for (TxnId victim : victims) {
-    for (LockManager* lm : lock_managers_) {
-      if (lm->AbortWaiter(victim)) break;  // a txn waits at one PE at a time
+    auto site = waiter_site.find(victim);
+    if (site != waiter_site.end()) {
+      lock_managers_[site->second]->AbortWaiter(victim);
     }
   }
   total_victims_ += static_cast<int64_t>(victims.size());

@@ -79,10 +79,39 @@ sim::Task<> Network::ControlMessage(PeId src, PeId dst) {
   return Transfer(src, dst, 1);
 }
 
+sim::Task<> Network::TransferBulk(PeId src, PeId dst, int64_t bytes) {
+  if (src == dst) co_return;  // co-located: shared-memory hand-off
+
+  int64_t packets = PacketsFor(bytes);
+  ++bulk_messages_sent_;
+  bulk_bytes_sent_ += bytes;
+
+  // Same cost structure as Transfer — migration batches are real messages
+  // competing for the endpoint CPUs and the wire — but accounted in the
+  // bulk counters so foreground message stats stay comparable.
+  co_await cpus_[src]->Use(InstructionsToMs(
+      costs_.send_message + costs_.copy_message * packets, mips_));
+
+  double wire_ms =
+      config_.wire_time_per_packet_ms * static_cast<double>(packets);
+  if (!link_delay_factor_.empty()) {
+    wire_ms *= link_delay_factor_[LinkIndex(src, dst)];
+  }
+  co_await sched_.Delay(
+      wire_ms,
+      sim::TraceTag(sim::TraceSubsystem::kNetwork,
+                    static_cast<uint16_t>(src)));
+
+  co_await cpus_[dst]->Use(InstructionsToMs(
+      costs_.receive_message + costs_.copy_message * packets, mips_));
+}
+
 void Network::ResetStats() {
   messages_sent_ = 0;
   packets_sent_ = 0;
   bytes_sent_ = 0;
+  bulk_messages_sent_ = 0;
+  bulk_bytes_sent_ = 0;
 }
 
 }  // namespace pdblb

@@ -44,6 +44,12 @@ class Network {
   /// A short control message (startup, commit votes): one packet.
   sim::Task<> ControlMessage(PeId src, PeId dst);
 
+  /// Bulk data transfer (fragment migration): same packetization, CPU
+  /// charges and wire delay as Transfer, but accounted separately so the
+  /// foreground message counters stay comparable across elastic and
+  /// resize-free runs.
+  sim::Task<> TransferBulk(PeId src, PeId dst, int64_t bytes);
+
   /// Packets needed for `bytes` (at least 1 for a non-empty message).
   int64_t PacketsFor(int64_t bytes) const;
 
@@ -69,6 +75,9 @@ class Network {
   int64_t messages_sent() const { return messages_sent_; }
   int64_t packets_sent() const { return packets_sent_; }
   int64_t bytes_sent() const { return bytes_sent_; }
+  /// Bulk (migration) traffic, kept out of the foreground counters above.
+  int64_t bulk_messages_sent() const { return bulk_messages_sent_; }
+  int64_t bulk_bytes_sent() const { return bulk_bytes_sent_; }
   void ResetStats();
 
  private:
@@ -90,6 +99,8 @@ class Network {
   int64_t messages_sent_ = 0;
   int64_t packets_sent_ = 0;
   int64_t bytes_sent_ = 0;
+  int64_t bulk_messages_sent_ = 0;
+  int64_t bulk_bytes_sent_ = 0;
 };
 
 }  // namespace pdblb

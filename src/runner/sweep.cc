@@ -77,6 +77,9 @@ std::vector<SweepResult> Sweep::Run(const SweepOptions& options) const {
         if (options.query_timeout_ms >= 0.0) {
           cfg.faults.query_timeout_ms = options.query_timeout_ms;
         }
+        if (options.migration_bw_mbps > 0.0) {
+          cfg.elastic.migration_bw_mbps = options.migration_bw_mbps;
+        }
         if (!options.eviction.empty()) {
           Status st = ParseEvictionPolicy(options.eviction,
                                           &cfg.buffer.eviction);
@@ -147,6 +150,8 @@ std::string ResultsCsv(const std::vector<SweepResult>& results) {
       "queries_timed_out,queries_retried,queries_failed,queries_degraded,"
       "pe_crashes,pe_recoveries,"
       "queries_shed,io_errors,io_retries,link_partitions,slow_disk_ms,"
+      "pes_added,pes_drained,fragments_migrated,migration_pages_moved,"
+      "migration_pages_discarded,migrations_replanned,"
       "buf_hit_ratio,buf_hits,buf_misses,buf_evictions,buf_writebacks,"
       "kernel_events,kernel_handoffs,seed\n";
   for (const SweepResult& res : results) {
@@ -159,6 +164,7 @@ std::string ResultsCsv(const std::vector<SweepResult>& results) {
           "\"%s\",%s,\"%s\",%.3f,%.3f,%.4f,%.4f,%.4f,%.2f,%.3f,%.3f,%.3f,"
           "%.3f,%.3f,%.3f,%lld,%lld,%lld,%lld,%lld,%lld,%lld,"
           "%lld,%lld,%lld,%lld,%.3f,"
+          "%lld,%lld,%lld,%lld,%lld,%lld,"
           "%.4f,%lld,%lld,%lld,%lld,%llu,%llu,"
           "%llu\n",
           res.point.name.c_str(), res.point.x_label.c_str(),
@@ -177,6 +183,12 @@ std::string ResultsCsv(const std::vector<SweepResult>& results) {
           static_cast<long long>(r.io_errors),
           static_cast<long long>(r.io_retries),
           static_cast<long long>(r.link_partitions), r.slow_disk_ms,
+          static_cast<long long>(r.pes_added),
+          static_cast<long long>(r.pes_drained),
+          static_cast<long long>(r.fragments_migrated),
+          static_cast<long long>(r.migration_pages_moved),
+          static_cast<long long>(r.migration_pages_discarded),
+          static_cast<long long>(r.migrations_replanned),
           r.buffer_hit_ratio, static_cast<long long>(r.buffer_hits),
           static_cast<long long>(r.buffer_misses),
           static_cast<long long>(r.buffer_evictions),

@@ -100,6 +100,12 @@ struct SweepOptions {
   /// the drivers' --query-timeout-ms flag (0 disables timeouts).
   double query_timeout_ms = -1.0;
 
+  /// When > 0, overrides every point's config.elastic.migration_bw_mbps —
+  /// the drivers' --migration-bw flag (MB/s granted to elastic fragment
+  /// migration; engine/elastic.h).  Only observable when the fault spec
+  /// schedules addpe/drainpe events.
+  double migration_bw_mbps = -1.0;
+
   /// When non-empty, parsed as an eviction-policy name (common/config.h
   /// ParseEvictionPolicy: "lru", "lru-k", "lfu", "clock") and applied to
   /// every point's config.buffer.eviction — the drivers' --eviction flag.
